@@ -1,0 +1,36 @@
+"""Shared benchmark infrastructure.
+
+Every experiment builds one or more paper-style result tables and
+registers them via the ``report`` fixture; the tables are printed in
+the terminal summary (never swallowed by output capture), so running
+
+    pytest benchmarks/ --benchmark-only
+
+shows, for each experiment, both pytest-benchmark's timing panel and
+the reproduced table/series the experiment is about.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+@pytest.fixture
+def report():
+    """Register a result table for the end-of-run summary."""
+
+    def add(text: str) -> None:
+        _REPORTS.append(text)
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "experiment results")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

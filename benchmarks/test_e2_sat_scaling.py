@@ -1,0 +1,110 @@
+"""E2 — satisfiability cost scaling (§4 complexity claims).
+
+The paper: deciding a conjunction "can be done in time O(n³) where n is
+the number of variables", via normalization + constraint graph +
+Floyd's algorithm; a DNF of m conjunctions costs O(m·n³).
+
+The experiment times Floyd's algorithm on chain conjunctions of growing
+variable count and reports the growth ratio per doubling (n³ predicts
+×8), and separately shows the linear m scaling for disjunctions.
+"""
+
+import time
+
+from repro.algebra.conditions import Atom, Condition, Conjunction
+from repro.bench.reporting import format_table
+from repro.core.satisfiability import is_satisfiable, is_satisfiable_conjunction
+
+
+def chain_conjunction(n: int) -> Conjunction:
+    """x0 <= x1 <= … <= x_{n-1} plus bounds: satisfiable, n variables."""
+    atoms = [Atom(f"x{i}", "<=", f"x{i + 1}", 1) for i in range(n - 1)]
+    atoms.append(Atom("x0", ">=", 0))
+    atoms.append(Atom(f"x{n - 1}", "<=", 3 * n))
+    return Conjunction(atoms)
+
+
+def _time(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_e2_conjunction_scaling(benchmark, report):
+    sizes = [8, 16, 32, 64]
+    timings = {}
+    for n in sizes:
+        conj = chain_conjunction(n)
+        assert is_satisfiable_conjunction(conj, method="floyd")
+        timings[n] = _time(
+            lambda c=conj: is_satisfiable_conjunction(c, method="floyd")
+        )
+
+    rows = []
+    for i, n in enumerate(sizes):
+        ratio = timings[n] / timings[sizes[i - 1]] if i else float("nan")
+        rows.append(
+            [n, f"{timings[n] * 1e3:.3f} ms", "-" if not i else f"x{ratio:.1f}"]
+        )
+
+    benchmark(
+        lambda: is_satisfiable_conjunction(chain_conjunction(32), method="floyd")
+    )
+
+    report(
+        format_table(
+            ["variables n", "Floyd sat-check time", "growth per doubling"],
+            rows,
+            title=(
+                "E2a  conjunction satisfiability — paper claims O(n^3), "
+                "i.e. ~x8 per doubling"
+            ),
+        )
+    )
+    # Growth must be clearly superlinear (>2x) per doubling; exact x8 is
+    # blurred by constant factors at small n and dict overhead.
+    assert timings[64] / timings[16] > 4
+
+
+def test_e2_disjunction_scaling(report, benchmark):
+    n = 16
+    rows = []
+    timings = {}
+    for m in (1, 2, 4, 8):
+        condition = Condition([chain_conjunction(n) for _ in range(m)])
+        # Force the worst case (no early exit) by making every disjunct
+        # unsatisfiable: the paper's O(m n^3) is exactly this case.
+        # The chain allows x0 <= x_{n-1} + (n-1); demanding
+        # x_{n-1} < x0 - (n-1) closes a negative cycle in every disjunct.
+        unsat = Condition(
+            [
+                Conjunction(
+                    list(chain_conjunction(n).atoms)
+                    + [Atom(f"x{n - 1}", "<", "x0", -(n - 1))]
+                )
+                for _ in range(m)
+            ]
+        )
+        assert not is_satisfiable(unsat, method="floyd")
+        timings[m] = _time(lambda c=unsat: is_satisfiable(c, method="floyd"))
+        rows.append([m, f"{timings[m] * 1e3:.3f} ms"])
+
+    benchmark(
+        lambda: is_satisfiable(
+            Condition([chain_conjunction(n) for _ in range(4)]), method="floyd"
+        )
+    )
+
+    report(
+        format_table(
+            ["disjuncts m", "unsat DNF check time"],
+            rows,
+            title="E2b  DNF satisfiability — paper claims O(m n^3): linear in m",
+        )
+    )
+    # Linear in m: quadrupling m should stay well under the n-doubling
+    # blow-up (allow generous slack for timer noise).
+    assert timings[8] / timings[1] < 16

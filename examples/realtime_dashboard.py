@@ -1,0 +1,94 @@
+"""Real-time query support via materialized views ([GSV84] motivation).
+
+Gardarin et al. considered materialized ("concrete") views for real-time
+queries but discarded them "because of the lack of an efficient
+algorithm to keep the concrete views up to date" — the gap this paper
+fills.  This example plays that scenario out on an order-processing
+database: a dashboard view of hot pending orders is kept materialized
+while a stream of order transactions commits, and the cost of answering
+the dashboard from the maintained view is compared against recomputing
+the query on demand.
+
+Run:  python examples/realtime_dashboard.py
+"""
+
+import random
+import time
+
+from repro import ViewMaintainer, evaluate
+from repro.workloads.scenarios import sales_scenario
+
+
+def main() -> None:
+    scenario = sales_scenario(customers=300, orders=3000, seed=42)
+    db = scenario.database
+    rng = random.Random(7)
+
+    maintainer = ViewMaintainer(db)
+    view = maintainer.define_view(scenario.view_name, scenario.expression)
+    print("Dashboard view:", scenario.expression)
+    print(f"Initially {len(view.contents)} hot pending orders.\n")
+
+    next_order_id = 3000
+
+    def random_transaction() -> None:
+        nonlocal next_order_id
+        with db.transact() as txn:
+            for _ in range(rng.randint(1, 5)):
+                kind = rng.random()
+                if kind < 0.5:
+                    # New order arrives.
+                    txn.insert(
+                        "orders",
+                        (
+                            next_order_id,
+                            rng.randrange(300),
+                            rng.randint(1, 5000),
+                            0,
+                        ),
+                    )
+                    next_order_id += 1
+                else:
+                    # An existing order changes status (ships/cancels).
+                    rows = sorted(db.relation("orders").value_tuples())
+                    order = rng.choice(rows)
+                    txn.update(
+                        "orders", order, order[:3] + (rng.randint(1, 3),)
+                    )
+
+    # --- Drive the workload -------------------------------------------
+    transactions = 200
+    start = time.perf_counter()
+    for _ in range(transactions):
+        random_transaction()
+    maintained_seconds = time.perf_counter() - start
+
+    stats = maintainer.stats(scenario.view_name)
+    print(f"Committed {transactions} transactions.")
+    print(
+        f"Filter screened {stats.tuples_screened} updated tuples, proved "
+        f"{stats.tuples_irrelevant} irrelevant "
+        f"({100 * stats.tuples_irrelevant / max(1, stats.tuples_screened):.0f}%)."
+    )
+    print(
+        f"{stats.transactions_skipped} transactions were skipped outright; "
+        f"{stats.deltas_applied} needed a differential update."
+    )
+    print(f"Dashboard now shows {len(view.contents)} hot pending orders.")
+    print(f"Total maintenance time: {maintained_seconds * 1000:.1f} ms "
+          f"({maintained_seconds / transactions * 1e6:.0f} µs per transaction).\n")
+
+    # --- Compare against recomputing the query on demand ---------------
+    start = time.perf_counter()
+    recomputed = evaluate(scenario.expression, db.instances())
+    recompute_seconds = time.perf_counter() - start
+    assert recomputed == view.contents
+    print(
+        f"One from-scratch evaluation of the dashboard query takes "
+        f"{recompute_seconds * 1e3:.2f} ms — every dashboard refresh would "
+        "pay that without maintenance; the maintained view answers in O(1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Relational-algebra substrate.
+
+This subpackage implements, from scratch, everything Section 3 of the
+paper assumes of its host system: relation schemes over discrete domains,
+tuples, *counted* relations (Section 5.2's multiplicity counters),
+*tagged* delta relations (Section 5.3's insert/delete/old tags), the
+select–project–join expression language, the condition language of
+Section 4, and an evaluator implementing the paper's redefined project
+and join operators.
+"""
+
+from repro.algebra.domains import Domain, IntegerDomain, FiniteDomain, StringDomain
+from repro.algebra.schema import Attribute, RelationSchema
+from repro.algebra.tuples import Row
+from repro.algebra.tags import Tag, combine_join_tags, unary_tag
+from repro.algebra.relation import Relation, TaggedRelation, Delta
+from repro.algebra.conditions import (
+    Atom,
+    Conjunction,
+    Condition,
+    Term,
+    Var,
+    Const,
+    TRUE,
+    parse_condition,
+)
+from repro.algebra.expressions import (
+    BaseRef,
+    Select,
+    Project,
+    Join,
+    Product,
+    Rename,
+    Union,
+    Difference,
+    Expression,
+    NormalForm,
+    Occurrence,
+    to_normal_form,
+)
+from repro.algebra.evaluate import evaluate
+from repro.algebra.rewrites import simplify_condition, push_selections, is_spj
+
+__all__ = [
+    "Domain",
+    "IntegerDomain",
+    "FiniteDomain",
+    "StringDomain",
+    "Attribute",
+    "RelationSchema",
+    "Row",
+    "Tag",
+    "combine_join_tags",
+    "unary_tag",
+    "Relation",
+    "TaggedRelation",
+    "Delta",
+    "Atom",
+    "Conjunction",
+    "Condition",
+    "Term",
+    "Var",
+    "Const",
+    "TRUE",
+    "parse_condition",
+    "BaseRef",
+    "Select",
+    "Project",
+    "Join",
+    "Product",
+    "Rename",
+    "Union",
+    "Difference",
+    "Expression",
+    "NormalForm",
+    "Occurrence",
+    "to_normal_form",
+    "evaluate",
+    "simplify_condition",
+    "push_selections",
+    "is_spj",
+]

@@ -1,0 +1,557 @@
+"""The selection-condition language of Section 4.
+
+The paper restricts selection conditions to Boolean expressions built
+from *atomic formulae* of the forms
+
+    ``x op y``,   ``x op c``,   ``x op y + c``
+
+where ``x`` and ``y`` are variables (attribute names), ``c`` is a
+positive or negative integer constant, and ``op ∈ {=, <, >, ≤, ≥}``.
+The operator ``≠`` is deliberately excluded: Rosenkrantz and Hunt's
+polynomial satisfiability test — the engine behind irrelevant-update
+detection — only works without it.  Conditions may combine atoms with
+conjunction, and the paper additionally handles disjunctions of such
+conjunctions (``C = C₁ ∨ C₂ ∨ … ∨ Cₘ``); this module therefore
+represents every condition in *disjunctive normal form* (DNF).
+
+The module provides:
+
+* :class:`Var` / :class:`Const` — the two kinds of operand term;
+* :class:`Atom` — one atomic formula, canonicalized so that any additive
+  offset sits on the right-hand side (``left op right + c``);
+* :class:`Conjunction` — a conjunction of atoms;
+* :class:`Condition` — a disjunction of conjunctions (the general form);
+* :func:`parse_condition` — a small recursive-descent parser accepting
+  strings like ``"A < 10 and C > 5 and B = C"`` or
+  ``"A <= B + 3 or D >= 7"``, with parentheses, converted to DNF.
+
+All values are encoded integers (see :mod:`repro.algebra.domains`),
+matching the paper's Section 3 convention.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Mapping, Sequence, Union
+
+from repro.errors import ConditionError
+
+#: Comparison operators admitted by the paper (no ``!=``).
+OPERATORS = ("<=", ">=", "=", "<", ">")
+
+_OP_FUNCS = {
+    "=": lambda a, b: a == b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+}
+
+#: The mirror image of each operator, used when swapping atom sides.
+_OP_MIRROR = {"=": "=", "<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+
+class Var:
+    """A variable term: a reference to an attribute by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise ConditionError(f"variable name must be a non-empty string: {name!r}")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((Var, self.name))
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+class Const:
+    """A constant term: an encoded integer value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConditionError(f"constants must be integers, got {value!r}")
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash((Const, self.value))
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+
+Term = Union[Var, Const]
+
+
+def _coerce_term(term: object) -> Term:
+    if isinstance(term, (Var, Const)):
+        return term
+    if isinstance(term, str):
+        return Var(term)
+    if isinstance(term, int) and not isinstance(term, bool):
+        return Const(term)
+    raise ConditionError(f"cannot interpret {term!r} as a condition term")
+
+
+class Atom:
+    """One atomic formula, canonicalized to ``left op right + offset``.
+
+    Canonicalization rules applied at construction:
+
+    * offsets attached to the left side move to the right with flipped
+      sign (``x + a op y + b`` becomes ``x op y + (b − a)``);
+    * if the right term is a constant, the offset folds into it;
+    * if the *left* term is a constant but the right is a variable, the
+      atom is mirrored so the variable is on the left (``5 < x`` becomes
+      ``x > 5``), giving every atom one of the paper's three shapes —
+      or the fully-ground shape ``c op d`` that arises after tuple
+      substitution and can be evaluated outright.
+
+    >>> Atom("A", "<", "B", offset=3)       # A < B + 3
+    Atom(A < B + 3)
+    >>> Atom(5, "<", "A")                   # mirrored to A > 5
+    Atom(A > 5)
+    >>> Atom(3, "<=", 7).truth_value()
+    True
+    """
+
+    __slots__ = ("left", "op", "right", "offset")
+
+    def __init__(self, left: object, op: str, right: object, offset: int = 0) -> None:
+        if op not in _OP_FUNCS:
+            if op in ("!=", "<>"):
+                raise ConditionError(
+                    "the operator != is outside the tractable class of "
+                    "Rosenkrantz & Hunt and is not supported (Section 4)"
+                )
+            raise ConditionError(f"unknown comparison operator {op!r}")
+        lterm = _coerce_term(left)
+        rterm = _coerce_term(right)
+        if isinstance(offset, bool) or not isinstance(offset, int):
+            raise ConditionError(f"atom offset must be an integer, got {offset!r}")
+
+        # Fold a constant right side together with the offset.
+        if isinstance(rterm, Const):
+            rterm = Const(rterm.value + offset)
+            offset = 0
+        # Put the variable on the left when only the right has one.
+        if isinstance(lterm, Const) and isinstance(rterm, Var):
+            lterm, rterm = rterm, Const(lterm.value - offset)
+            op = _OP_MIRROR[op]
+            offset = 0
+
+        self.left = lterm
+        self.op = op
+        self.right = rterm
+        self.offset = offset
+
+    # ------------------------------------------------------------------
+    # Shape queries (Definition 4.2 vocabulary)
+    # ------------------------------------------------------------------
+    def variables(self) -> frozenset[str]:
+        """The set of variable names mentioned by the atom (α of Def 4.2)."""
+        names = []
+        if isinstance(self.left, Var):
+            names.append(self.left.name)
+        if isinstance(self.right, Var):
+            names.append(self.right.name)
+        return frozenset(names)
+
+    def is_ground(self) -> bool:
+        """True for fully-constant atoms ``c op d`` (variant *evaluable*)."""
+        return isinstance(self.left, Const) and isinstance(self.right, Const)
+
+    def is_single_variable(self) -> bool:
+        """True for ``x op c`` atoms (one variable, one constant)."""
+        return isinstance(self.left, Var) and isinstance(self.right, Const)
+
+    def is_two_variable(self) -> bool:
+        """True for ``x op y + c`` atoms."""
+        return isinstance(self.left, Var) and isinstance(self.right, Var)
+
+    def truth_value(self) -> bool:
+        """Evaluate a ground atom; error if variables remain."""
+        if not self.is_ground():
+            raise ConditionError(f"{self!r} is not ground")
+        assert isinstance(self.left, Const) and isinstance(self.right, Const)
+        return _OP_FUNCS[self.op](self.left.value, self.right.value + self.offset)
+
+    # ------------------------------------------------------------------
+    # Evaluation and substitution
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        """Truth of the atom under a total assignment of its variables."""
+        lhs = self._term_value(self.left, assignment)
+        rhs = self._term_value(self.right, assignment) + self.offset
+        return _OP_FUNCS[self.op](lhs, rhs)
+
+    @staticmethod
+    def _term_value(term: Term, assignment: Mapping[str, int]) -> int:
+        if isinstance(term, Const):
+            return term.value
+        try:
+            return assignment[term.name]
+        except KeyError:
+            raise ConditionError(
+                f"assignment is missing a value for variable {term.name!r}"
+            ) from None
+
+    def substitute(self, binding: Mapping[str, int]) -> "Atom":
+        """Replace any bound variables by constants (Definition 4.1).
+
+        Unbound variables are left intact; the result may be ground,
+        single-variable or unchanged.
+        """
+        left: object = self.left
+        right: object = self.right
+        if isinstance(left, Var) and left.name in binding:
+            left = Const(binding[left.name])
+        if isinstance(right, Var) and right.name in binding:
+            right = Const(binding[right.name])
+        return Atom(left, self.op, right, self.offset)
+
+    # ------------------------------------------------------------------
+    # Dunders
+    # ------------------------------------------------------------------
+    def _key(self) -> tuple:
+        return (self.left, self.op, self.right, self.offset)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Atom) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return f"Atom({self})"
+
+    def __str__(self) -> str:
+        left = self.left.name if isinstance(self.left, Var) else str(self.left.value)
+        right = self.right.name if isinstance(self.right, Var) else str(self.right.value)
+        if self.offset > 0:
+            right = f"{right} + {self.offset}"
+        elif self.offset < 0:
+            right = f"{right} - {-self.offset}"
+        return f"{left} {self.op} {right}"
+
+
+class Conjunction:
+    """A conjunction of atoms — one disjunct of a DNF condition.
+
+    The empty conjunction is the constant ``True``.
+    """
+
+    __slots__ = ("atoms",)
+
+    def __init__(self, atoms: Iterable[Atom] = ()) -> None:
+        atom_list = []
+        for atom in atoms:
+            if not isinstance(atom, Atom):
+                raise ConditionError(f"conjunction members must be Atoms, got {atom!r}")
+            atom_list.append(atom)
+        self.atoms: tuple[Atom, ...] = tuple(atom_list)
+
+    def variables(self) -> frozenset[str]:
+        """All variables mentioned by any atom."""
+        out: frozenset[str] = frozenset()
+        for atom in self.atoms:
+            out |= atom.variables()
+        return out
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        """Truth under a total assignment."""
+        return all(atom.evaluate(assignment) for atom in self.atoms)
+
+    def substitute(self, binding: Mapping[str, int]) -> "Conjunction":
+        """Substitute constants for bound variables in every atom."""
+        return Conjunction(atom.substitute(binding) for atom in self.atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Conjunction) and self.atoms == other.atoms
+
+    def __hash__(self) -> int:
+        return hash(self.atoms)
+
+    def __repr__(self) -> str:
+        return f"Conjunction({self})"
+
+    def __str__(self) -> str:
+        if not self.atoms:
+            return "true"
+        return " and ".join(str(a) for a in self.atoms)
+
+
+class Condition:
+    """A selection condition in DNF: a disjunction of conjunctions.
+
+    * ``Condition.true()`` — one empty disjunct: always satisfied.
+    * ``Condition.false()`` — no disjuncts: never satisfied (arises when
+      simplification prunes every disjunct).
+    """
+
+    __slots__ = ("disjuncts",)
+
+    def __init__(self, disjuncts: Iterable[Conjunction]) -> None:
+        ds = []
+        for d in disjuncts:
+            if not isinstance(d, Conjunction):
+                raise ConditionError(f"disjuncts must be Conjunctions, got {d!r}")
+            ds.append(d)
+        self.disjuncts: tuple[Conjunction, ...] = tuple(ds)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def true(cls) -> "Condition":
+        return cls([Conjunction()])
+
+    @classmethod
+    def false(cls) -> "Condition":
+        return cls([])
+
+    @classmethod
+    def of_atoms(cls, atoms: Iterable[Atom]) -> "Condition":
+        """A single-conjunct condition from a list of atoms."""
+        return cls([Conjunction(atoms)])
+
+    @classmethod
+    def coerce(cls, value: object) -> "Condition":
+        """Accept a Condition, Conjunction, Atom, atom list or string."""
+        if isinstance(value, Condition):
+            return value
+        if isinstance(value, Conjunction):
+            return cls([value])
+        if isinstance(value, Atom):
+            return cls.of_atoms([value])
+        if isinstance(value, str):
+            return parse_condition(value)
+        if isinstance(value, Sequence):
+            return cls.of_atoms(list(value))
+        raise ConditionError(f"cannot interpret {value!r} as a condition")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_true(self) -> bool:
+        """Syntactically the constant ``True`` (an empty disjunct exists)."""
+        return any(not d.atoms for d in self.disjuncts)
+
+    def is_false(self) -> bool:
+        """Syntactically the constant ``False`` (no disjuncts)."""
+        return not self.disjuncts
+
+    def variables(self) -> frozenset[str]:
+        """The set Y of Section 4: all variables in the condition."""
+        out: frozenset[str] = frozenset()
+        for d in self.disjuncts:
+            out |= d.variables()
+        return out
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        """Truth under a total assignment of all variables."""
+        return any(d.evaluate(assignment) for d in self.disjuncts)
+
+    def substitute(self, binding: Mapping[str, int]) -> "Condition":
+        """The substituted condition C(t, Y₂) of Definition 4.1."""
+        return Condition(d.substitute(binding) for d in self.disjuncts)
+
+    def conjoin(self, other: "Condition") -> "Condition":
+        """DNF conjunction: distribute over the disjuncts."""
+        other = Condition.coerce(other)
+        return Condition(
+            Conjunction(a.atoms + b.atoms)
+            for a in self.disjuncts
+            for b in other.disjuncts
+        )
+
+    def disjoin(self, other: "Condition") -> "Condition":
+        """DNF disjunction: concatenate disjunct lists."""
+        other = Condition.coerce(other)
+        return Condition(self.disjuncts + other.disjuncts)
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return self.conjoin(other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return self.disjoin(other)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Condition) and self.disjuncts == other.disjuncts
+
+    def __hash__(self) -> int:
+        return hash(self.disjuncts)
+
+    def __repr__(self) -> str:
+        return f"Condition({self})"
+
+    def __str__(self) -> str:
+        if not self.disjuncts:
+            return "false"
+        if len(self.disjuncts) == 1:
+            return str(self.disjuncts[0])
+        return " or ".join(f"({d})" for d in self.disjuncts)
+
+
+#: Convenience constant: the always-true condition.
+TRUE = Condition.true()
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<op><=|>=|==|=|<|>|!=|<>)"
+    r"|(?P<num>-?\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)*)"
+    r"|(?P<lparen>\()"
+    r"|(?P<rparen>\))"
+    r"|(?P<plus>\+)"
+    r"|(?P<minus>-)"
+    r")"
+)
+
+_KEYWORDS = {"and": "AND", "or": "OR", "true": "TRUE", "false": "FALSE"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ConditionError(f"cannot tokenize condition at: {remainder!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)  # type: ignore[arg-type]
+        if kind == "name":
+            lowered = value.lower()
+            if lowered in _KEYWORDS:
+                tokens.append((_KEYWORDS[lowered], value))
+                continue
+        assert kind is not None
+        tokens.append((kind, value))
+    tokens.append(("EOF", ""))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser producing a DNF :class:`Condition`.
+
+    Grammar (standard precedence: ``and`` binds tighter than ``or``)::
+
+        condition := term ( OR term )*
+        term      := factor ( AND factor )*
+        factor    := atom | TRUE | FALSE | '(' condition ')'
+        atom      := operand cmp operand
+        operand   := NUM | NAME [ ('+'|'-') NUM ]
+    """
+
+    def __init__(self, tokens: list[tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._i = 0
+
+    def _peek(self) -> tuple[str, str]:
+        return self._tokens[self._i]
+
+    def _next(self) -> tuple[str, str]:
+        token = self._tokens[self._i]
+        self._i += 1
+        return token
+
+    def _expect(self, kind: str) -> str:
+        token_kind, value = self._next()
+        if token_kind != kind:
+            raise ConditionError(f"expected {kind}, got {value!r}")
+        return value
+
+    def parse(self) -> Condition:
+        cond = self._condition()
+        if self._peek()[0] != "EOF":
+            raise ConditionError(f"unexpected trailing input: {self._peek()[1]!r}")
+        return cond
+
+    def _condition(self) -> Condition:
+        cond = self._term()
+        while self._peek()[0] == "OR":
+            self._next()
+            cond = cond.disjoin(self._term())
+        return cond
+
+    def _term(self) -> Condition:
+        cond = self._factor()
+        while self._peek()[0] == "AND":
+            self._next()
+            cond = cond.conjoin(self._factor())
+        return cond
+
+    def _factor(self) -> Condition:
+        kind, _ = self._peek()
+        if kind == "lparen":
+            self._next()
+            cond = self._condition()
+            self._expect("rparen")
+            return cond
+        if kind == "TRUE":
+            self._next()
+            return Condition.true()
+        if kind == "FALSE":
+            self._next()
+            return Condition.false()
+        return Condition.of_atoms([self._atom()])
+
+    def _atom(self) -> Atom:
+        left_term, left_off = self._operand()
+        op = self._expect("op")
+        if op == "==":
+            op = "="
+        right_term, right_off = self._operand()
+        # Move all offsets to the right-hand side.
+        return Atom(left_term, op, right_term, right_off - left_off)
+
+    def _operand(self) -> tuple[object, int]:
+        kind, value = self._next()
+        if kind == "num":
+            return int(value), 0
+        if kind != "name":
+            raise ConditionError(f"expected a variable or number, got {value!r}")
+        offset = 0
+        nxt = self._peek()[0]
+        if nxt in ("plus", "minus"):
+            sign = 1 if nxt == "plus" else -1
+            self._next()
+            offset = sign * int(self._expect("num"))
+        return value, offset
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse a condition string into DNF.
+
+    >>> str(parse_condition("A < 10 and C > 5 and B = C"))
+    'A < 10 and C > 5 and B = C'
+    >>> str(parse_condition("A <= B + 3 or D >= 7"))
+    '(A <= B + 3) or (D >= 7)'
+    """
+    return _Parser(_tokenize(text)).parse()

@@ -1,0 +1,207 @@
+"""Attribute domains.
+
+Section 3 of the paper assumes that *"all attributes are defined on
+discrete and finite domains"* and notes that such a domain can always be
+mapped to a subset of the natural numbers, which is why the paper uses
+integer values in all examples.  The satisfiability machinery of
+Section 4 (Rosenkrantz & Hunt) additionally relies on domains being
+*discrete*, so that strict comparisons can be rewritten into weak ones
+(``x < y + c  ≡  x ≤ y + c − 1``).
+
+This module models that assumption explicitly.  Three domain flavours
+are provided:
+
+* :class:`IntegerDomain` — the unbounded discrete integers; the default
+  and the domain used throughout the paper's examples.
+* :class:`FiniteDomain` — an integer interval ``[lo, hi]``; useful for
+  workload generation and for brute-force satisfiability cross-checks in
+  the test suite.
+* :class:`StringDomain` — an enumerated set of labels, internally mapped
+  onto ``0 .. n−1`` so that all comparison machinery keeps operating on
+  integers, exactly as the paper suggests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import DomainError
+
+
+class Domain:
+    """Base class for attribute domains.
+
+    A domain decides which raw Python values are admissible for an
+    attribute and how they are encoded as integers.  All comparison and
+    satisfiability logic in :mod:`repro.core` works on the integer
+    encodings, in keeping with the paper's Section 3 convention.
+    """
+
+    #: Human-readable name used in reprs and error messages.
+    name = "domain"
+
+    def contains(self, value: object) -> bool:
+        """Return ``True`` when ``value`` belongs to this domain."""
+        raise NotImplementedError
+
+    def encode(self, value: object) -> int:
+        """Map an admissible ``value`` to its integer encoding."""
+        raise NotImplementedError
+
+    def decode(self, code: int) -> object:
+        """Invert :meth:`encode`."""
+        raise NotImplementedError
+
+    def validate(self, value: object) -> int:
+        """Encode ``value`` or raise :class:`DomainError` if inadmissible."""
+        if not self.contains(value):
+            raise DomainError(f"value {value!r} is not in {self!r}")
+        return self.encode(value)
+
+    def sample_values(self) -> Iterator[int]:
+        """Yield *some* encoded values, used by witness construction.
+
+        Infinite domains yield an unbounded stream; finite domains yield
+        each member once.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__}>"
+
+
+class IntegerDomain(Domain):
+    """The unbounded discrete integers — the paper's default domain."""
+
+    name = "integer"
+
+    def contains(self, value: object) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    def encode(self, value: object) -> int:
+        return int(value)  # type: ignore[arg-type]
+
+    def decode(self, code: int) -> object:
+        return code
+
+    def sample_values(self) -> Iterator[int]:
+        # 0, 1, -1, 2, -2, ... : a fair enumeration of Z.
+        yield 0
+        k = 1
+        while True:
+            yield k
+            yield -k
+            k += 1
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntegerDomain)
+
+    def __hash__(self) -> int:
+        return hash(IntegerDomain)
+
+
+class FiniteDomain(Domain):
+    """A finite integer interval ``[lo, hi]`` (both ends inclusive).
+
+    The paper only needs finiteness for its "discrete and finite"
+    framing; the satisfiability test itself is sound over the unbounded
+    integers.  Finite domains are what the test suite's brute-force
+    oracle enumerates.
+    """
+
+    name = "finite"
+
+    def __init__(self, lo: int, hi: int) -> None:
+        if lo > hi:
+            raise DomainError(f"empty finite domain [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    def contains(self, value: object) -> bool:
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and self.lo <= value <= self.hi
+        )
+
+    def encode(self, value: object) -> int:
+        return int(value)  # type: ignore[arg-type]
+
+    def decode(self, code: int) -> object:
+        return code
+
+    def sample_values(self) -> Iterator[int]:
+        return iter(range(self.lo, self.hi + 1))
+
+    def __len__(self) -> int:
+        return self.hi - self.lo + 1
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FiniteDomain)
+            and self.lo == other.lo
+            and self.hi == other.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash((FiniteDomain, self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"<FiniteDomain [{self.lo}, {self.hi}]>"
+
+
+class StringDomain(Domain):
+    """An enumerated label domain, encoded as ``0 .. n−1``.
+
+    Following the paper's observation that any discrete finite domain can
+    be mapped to naturals, labels are ordered by their position in the
+    constructor argument; comparisons between encoded labels therefore
+    follow that enumeration order.
+    """
+
+    name = "string"
+
+    def __init__(self, labels: Iterable[str]) -> None:
+        self.labels = tuple(labels)
+        if not self.labels:
+            raise DomainError("a StringDomain needs at least one label")
+        if len(set(self.labels)) != len(self.labels):
+            raise DomainError("StringDomain labels must be distinct")
+        self._codes = {label: i for i, label in enumerate(self.labels)}
+
+    def contains(self, value: object) -> bool:
+        return value in self._codes
+
+    def encode(self, value: object) -> int:
+        try:
+            return self._codes[value]  # type: ignore[index]
+        except (KeyError, TypeError):
+            raise DomainError(f"label {value!r} is not in {self!r}") from None
+
+    def decode(self, code: int) -> object:
+        try:
+            return self.labels[code]
+        except IndexError:
+            raise DomainError(f"code {code} out of range for {self!r}") from None
+
+    def sample_values(self) -> Iterator[int]:
+        return iter(range(len(self.labels)))
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StringDomain) and self.labels == other.labels
+
+    def __hash__(self) -> int:
+        return hash((StringDomain, self.labels))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(self.labels[:4])
+        if len(self.labels) > 4:
+            preview += ", …"
+        return f"<StringDomain {{{preview}}}>"
+
+
+#: Shared default instance; attributes that do not declare a domain use it.
+INTEGERS = IntegerDomain()

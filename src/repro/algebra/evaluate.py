@@ -1,0 +1,340 @@
+"""Evaluation of SPJ expressions with the paper's redefined operators.
+
+Two families of operators live here:
+
+* **Counted operators** over :class:`~repro.algebra.relation.Relation`
+  (Section 5.2): projection *sums* multiplicity counters, join
+  *multiplies* them (the paper's ``t(N) = u(N) * v(N)``), selection
+  leaves them unchanged.  :func:`evaluate` applies these to a whole
+  expression tree — this is the "complete re-evaluation" the paper
+  wants to avoid, and serves as our ground-truth baseline.
+
+* **Tagged operators** over
+  :class:`~repro.algebra.relation.TaggedRelation` (Section 5.3):
+  identical count behaviour, plus tag combination per the paper's tag
+  tables — in particular ``insert ⋈ delete`` pairs are discarded inside
+  the join ("they do not emerge from the join").
+
+Joins are hash joins keyed on the shared attributes; selections are
+compiled to closures once per call so the per-row cost is a plain
+function call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.algebra.conditions import Condition, Var
+from repro.algebra.expressions import (
+    BaseRef,
+    Difference,
+    Expression,
+    Join,
+    Product,
+    Project,
+    Rename,
+    Select,
+    Union,
+)
+from repro.algebra.relation import Relation, TaggedRelation
+from repro.algebra.schema import RelationSchema
+from repro.algebra.tags import Tag, combine_join_tags
+from repro.errors import ExpressionError
+from repro.instrumentation import charge
+
+ValueTuple = tuple[int, ...]
+Predicate = Callable[[ValueTuple], bool]
+
+
+# ----------------------------------------------------------------------
+# Condition compilation
+# ----------------------------------------------------------------------
+
+def compile_condition(condition: Condition, schema: RelationSchema) -> Predicate:
+    """Compile ``condition`` into a fast row predicate for ``schema``.
+
+    Variables are resolved to tuple positions once; the resulting
+    closure evaluates one row with no dictionary lookups.
+    """
+    if condition.is_true():
+        return lambda values: True
+    if condition.is_false():
+        return lambda values: False
+
+    import operator as _op
+
+    op_funcs = {
+        "=": _op.eq,
+        "<": _op.lt,
+        ">": _op.gt,
+        "<=": _op.le,
+        ">=": _op.ge,
+    }
+
+    compiled_disjuncts: list[tuple[Callable, ...]] = []
+    for disjunct in condition.disjuncts:
+        atom_preds = []
+        for atom in disjunct.atoms:
+            func = op_funcs[atom.op]
+            offset = atom.offset
+            if isinstance(atom.left, Var) and isinstance(atom.right, Var):
+                li = schema.index(atom.left.name)
+                ri = schema.index(atom.right.name)
+                atom_preds.append(
+                    lambda v, f=func, li=li, ri=ri, c=offset: f(v[li], v[ri] + c)
+                )
+            elif isinstance(atom.left, Var):
+                li = schema.index(atom.left.name)
+                rc = atom.right.value + offset  # type: ignore[union-attr]
+                atom_preds.append(lambda v, f=func, li=li, rc=rc: f(v[li], rc))
+            elif isinstance(atom.right, Var):
+                lc = atom.left.value  # type: ignore[union-attr]
+                ri = schema.index(atom.right.name)
+                atom_preds.append(
+                    lambda v, f=func, lc=lc, ri=ri, c=offset: f(lc, v[ri] + c)
+                )
+            else:
+                truth = atom.truth_value()
+                atom_preds.append(lambda v, t=truth: t)
+        compiled_disjuncts.append(tuple(atom_preds))
+
+    if len(compiled_disjuncts) == 1:
+        preds = compiled_disjuncts[0]
+        return lambda values: all(p(values) for p in preds)
+
+    disjuncts = tuple(compiled_disjuncts)
+    return lambda values: any(all(p(values) for p in preds) for preds in disjuncts)
+
+
+# ----------------------------------------------------------------------
+# Counted operators over Relation
+# ----------------------------------------------------------------------
+
+def select_relation(relation: Relation, condition: Condition) -> Relation:
+    """``σ_C(r)`` — counts unchanged (the paper's note on select)."""
+    predicate = compile_condition(condition, relation.schema)
+    out = Relation(relation.schema)
+    for values, count in relation.items():
+        charge("tuples_scanned")
+        if predicate(values):
+            out._counts[values] = count
+    return out
+
+
+def project_relation(relation: Relation, attributes: Sequence[str]) -> Relation:
+    """``π_X(r)`` with summed multiplicity counters (Section 5.2)."""
+    positions = relation.schema.positions(attributes)
+    out_schema = relation.schema.project_schema(attributes)
+    out = Relation(out_schema)
+    counts = out._counts
+    for values, count in relation.items():
+        charge("tuples_scanned")
+        key = tuple(values[i] for i in positions)
+        counts[key] = counts.get(key, 0) + count
+    return out
+
+
+def join_relations(left: Relation, right: Relation) -> Relation:
+    """Natural join with multiplied counters (Section 5.2's ⋈).
+
+    Implemented as a hash join: the smaller operand is built into a hash
+    table keyed on the shared attributes.  With no shared attributes the
+    join degenerates into the cross product, as usual.
+    """
+    shared = left.schema.shared_names(right.schema)
+    out_schema = left.schema.join_schema(right.schema)
+
+    build, probe = (left, right) if len(left) <= len(right) else (right, left)
+    build_is_left = build is left
+
+    build_keys = build.schema.positions(shared)
+    probe_keys = probe.schema.positions(shared)
+
+    # Positions of the probe-side attributes that are *not* shared,
+    # needed to assemble output rows in out_schema order.
+    table: dict[ValueTuple, list[tuple[ValueTuple, int]]] = {}
+    for values, count in build.items():
+        charge("tuples_scanned")
+        key = tuple(values[i] for i in build_keys)
+        table.setdefault(key, []).append((values, count))
+
+    left_width = len(left.schema)
+    right_extra_positions = tuple(
+        right.schema.index(n) for n in right.schema.names if n not in set(shared)
+    )
+
+    out = Relation(out_schema)
+    counts = out._counts
+    for probe_values, probe_count in probe.items():
+        charge("join_probes")
+        key = tuple(probe_values[i] for i in probe_keys)
+        for build_values, build_count in table.get(key, ()):
+            if build_is_left:
+                lvals, rvals = build_values, probe_values
+            else:
+                lvals, rvals = probe_values, build_values
+            row = lvals + tuple(rvals[i] for i in right_extra_positions)
+            charge("tuples_emitted")
+            counts[row] = counts.get(row, 0) + build_count * probe_count
+    return out
+
+
+def rename_relation(relation: Relation, mapping: Mapping[str, str]) -> Relation:
+    """``ρ_mapping(r)`` — same tuples under a renamed schema."""
+    out = Relation(relation.schema.renamed(mapping))
+    out._counts = dict(relation._counts)
+    return out
+
+
+def product_relations(left: Relation, right: Relation) -> Relation:
+    """Cross product with multiplied counters; schemas must be disjoint."""
+    out_schema = left.schema.concat(right.schema)
+    out = Relation(out_schema)
+    counts = out._counts
+    for lvals, lcount in left.items():
+        for rvals, rcount in right.items():
+            charge("tuples_emitted")
+            counts[lvals + rvals] = lcount * rcount
+    return out
+
+
+def evaluate(expression: Expression, instances: Mapping[str, Relation]) -> Relation:
+    """Fully evaluate an SPJ expression — complete re-evaluation.
+
+    ``instances`` maps base-relation names to their current contents.
+    This is the paper's "re-evaluating the relational expression that
+    defines the view" and is used as the correctness oracle and the
+    baseline against which the differential algorithm is measured.
+    """
+    charge("full_reevaluations")
+    catalog = {name: rel.schema for name, rel in instances.items()}
+    # Validates the tree up front, including condition variable scoping.
+    expression.schema(catalog)
+    return _evaluate_node(expression, instances)
+
+
+def _evaluate_node(
+    expression: Expression, instances: Mapping[str, Relation]
+) -> Relation:
+    if isinstance(expression, BaseRef):
+        return instances[expression.name]
+    if isinstance(expression, Select):
+        return select_relation(
+            _evaluate_node(expression.child, instances), expression.condition
+        )
+    if isinstance(expression, Project):
+        return project_relation(
+            _evaluate_node(expression.child, instances), expression.attributes
+        )
+    if isinstance(expression, Join):
+        return join_relations(
+            _evaluate_node(expression.left, instances),
+            _evaluate_node(expression.right, instances),
+        )
+    if isinstance(expression, Product):
+        return product_relations(
+            _evaluate_node(expression.left, instances),
+            _evaluate_node(expression.right, instances),
+        )
+    if isinstance(expression, Rename):
+        return rename_relation(
+            _evaluate_node(expression.child, instances), expression.mapping
+        )
+    if isinstance(expression, Union):
+        left = _evaluate_node(expression.left, instances)
+        right = _evaluate_node(expression.right, instances)
+        return _align_schema(left, right.schema).union(right)
+    if isinstance(expression, Difference):
+        left = _evaluate_node(expression.left, instances)
+        right = _evaluate_node(expression.right, instances)
+        return left.difference(_align_schema(right, left.schema))
+    raise ExpressionError(f"cannot evaluate {type(expression).__name__}")
+
+
+def _align_schema(relation: Relation, target: RelationSchema) -> Relation:
+    """Rebind a relation to an equally-named schema (domains may differ
+    in provenance but names match by Union/Difference validation)."""
+    if relation.schema is target or relation.schema == target:
+        return relation
+    out = Relation(target)
+    out._counts = dict(relation._counts)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Tagged operators over TaggedRelation (Section 5.3)
+# ----------------------------------------------------------------------
+
+def tagged_select(relation: TaggedRelation, condition: Condition) -> TaggedRelation:
+    """``σ_C`` over tagged tuples; tags pass through unchanged."""
+    predicate = compile_condition(condition, relation.schema)
+    out = TaggedRelation(relation.schema)
+    for values, tag, count in relation.items():
+        charge("tuples_scanned")
+        if predicate(values):
+            out.add(values, tag, count)
+    return out
+
+
+def tagged_project(
+    relation: TaggedRelation, attributes: Sequence[str]
+) -> TaggedRelation:
+    """``π_X`` over tagged tuples; counts sum *per tag*."""
+    positions = relation.schema.positions(attributes)
+    out = TaggedRelation(relation.schema.project_schema(attributes))
+    for values, tag, count in relation.items():
+        charge("tuples_scanned")
+        out.add(tuple(values[i] for i in positions), tag, count)
+    return out
+
+
+def tagged_join(left: TaggedRelation, right: TaggedRelation) -> TaggedRelation:
+    """Natural join over tagged tuples, combining tags per the paper.
+
+    ``insert ⋈ delete`` combinations yield ``IGNORE`` and are dropped
+    inside the join, exactly as Section 5.3 specifies.
+    """
+    shared = left.schema.shared_names(right.schema)
+    out_schema = left.schema.join_schema(right.schema)
+
+    left_keys = left.schema.positions(shared)
+    right_keys = right.schema.positions(shared)
+    shared_set = set(shared)
+    right_extra_positions = tuple(
+        right.schema.index(n) for n in right.schema.names if n not in shared_set
+    )
+
+    table: dict[ValueTuple, list[tuple[ValueTuple, Tag, int]]] = {}
+    for values, tag, count in left.items():
+        charge("tuples_scanned")
+        key = tuple(values[i] for i in left_keys)
+        table.setdefault(key, []).append((values, tag, count))
+
+    out = TaggedRelation(out_schema)
+    for rvalues, rtag, rcount in right.items():
+        charge("join_probes")
+        key = tuple(rvalues[i] for i in right_keys)
+        for lvalues, ltag, lcount in table.get(key, ()):
+            tag = combine_join_tags(ltag, rtag)
+            if tag is Tag.IGNORE:
+                charge("tuples_ignored")
+                continue
+            row = lvalues + tuple(rvalues[i] for i in right_extra_positions)
+            charge("tuples_emitted")
+            out.add(row, tag, lcount * rcount)
+    return out
+
+
+def tagged_product(left: TaggedRelation, right: TaggedRelation) -> TaggedRelation:
+    """Cross product over tagged tuples (disjoint schemas)."""
+    out_schema = left.schema.concat(right.schema)
+    out = TaggedRelation(out_schema)
+    for lvalues, ltag, lcount in left.items():
+        for rvalues, rtag, rcount in right.items():
+            tag = combine_join_tags(ltag, rtag)
+            if tag is Tag.IGNORE:
+                charge("tuples_ignored")
+                continue
+            charge("tuples_emitted")
+            out.add(lvalues + rvalues, tag, lcount * rcount)
+    return out

@@ -1,0 +1,181 @@
+"""Algebraic rewrites: condition simplification and selection pushdown.
+
+The differential planner does its own pushdown over the flattened
+normal form; this module provides the analogous *tree-level* rewrites,
+useful when evaluating expressions with the naive tree evaluator and as
+a validated reference for the planner's behaviour:
+
+* :func:`simplify_condition` — evaluate ground atoms, drop disjuncts
+  made false, deduplicate atoms;
+* :func:`push_selections` — move selection atoms toward the leaves of
+  an SPJ tree (classic heuristic: filter early, join less);
+* :func:`is_spj` — membership test for the paper's supported class.
+
+All rewrites preserve counted semantics, which the property tests
+verify by comparing evaluation results before and after rewriting.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.algebra.conditions import Atom, Condition, Conjunction
+from repro.algebra.expressions import (
+    BaseRef,
+    Expression,
+    Join,
+    Product,
+    Project,
+    Rename,
+    Select,
+)
+from repro.algebra.schema import RelationSchema
+
+
+def simplify_condition(condition: Condition) -> Condition:
+    """Evaluate ground atoms and prune dead disjuncts.
+
+    * a ground-false atom kills its disjunct;
+    * ground-true atoms are dropped;
+    * duplicate atoms within a disjunct collapse to one.
+
+    The result may be ``Condition.false()`` (no disjuncts survive) or
+    contain an empty conjunction (a disjunct became trivially true).
+
+    >>> from repro.algebra.conditions import parse_condition
+    >>> str(simplify_condition(parse_condition("3 < 5 and A > 2")))
+    'A > 2'
+    >>> simplify_condition(parse_condition("7 < 5 and A > 2")).is_false()
+    True
+    """
+    survivors = []
+    for disjunct in condition.disjuncts:
+        atoms: list[Atom] = []
+        seen: set[Atom] = set()
+        dead = False
+        for atom in disjunct.atoms:
+            if atom.is_ground():
+                if not atom.truth_value():
+                    dead = True
+                    break
+                continue
+            if atom not in seen:
+                seen.add(atom)
+                atoms.append(atom)
+        if not dead:
+            survivors.append(Conjunction(atoms))
+    return Condition(survivors)
+
+
+def is_spj(expression: Expression) -> bool:
+    """True when the expression uses only S, P, J (plus ×, ρ) operators."""
+    return all(
+        isinstance(node, (BaseRef, Select, Project, Join, Product, Rename))
+        for node in expression.walk()
+    )
+
+
+def push_selections(
+    expression: Expression, catalog: Mapping[str, RelationSchema]
+) -> Expression:
+    """Push selection atoms toward the leaves of an SPJ tree.
+
+    Only purely conjunctive conditions are split (a disjunction must
+    stay whole to remain equivalent); each atom moves to the deepest
+    subtree that produces all of its variables.  Counted semantics is
+    preserved: selection commutes with join, product, rename and — for
+    atoms over surviving attributes — with projection.
+    """
+    expression.schema(catalog)  # validate before rewriting
+    rewritten, pending = _push(expression, (), catalog)
+    if pending:
+        rewritten = Select(rewritten, Condition.of_atoms(list(pending)))
+    return rewritten
+
+
+def _push(
+    node: Expression,
+    pending: tuple[Atom, ...],
+    catalog: Mapping[str, RelationSchema],
+) -> tuple[Expression, tuple[Atom, ...]]:
+    """Rewrite ``node``, threading not-yet-placed atoms downward.
+
+    Returns the rewritten node and the atoms that could not be placed
+    inside it (the caller re-attaches them above).
+    """
+    if isinstance(node, Select):
+        simplified = simplify_condition(node.condition)
+        if len(simplified.disjuncts) == 1:
+            child, leftover = _push(
+                node.child, pending + simplified.disjuncts[0].atoms, catalog
+            )
+            return child, leftover
+        child, leftover = _push(node.child, pending, catalog)
+        return Select(child, simplified), leftover
+
+    if isinstance(node, (Join, Product)):
+        left_schema = node.left.schema(catalog).nameset
+        right_schema = node.right.schema(catalog).nameset
+        to_left, to_right, stay = [], [], []
+        for atom in pending:
+            names = atom.variables()
+            if names <= left_schema:
+                to_left.append(atom)
+            elif names <= right_schema:
+                to_right.append(atom)
+            else:
+                stay.append(atom)
+        left, left_over = _push(node.left, tuple(to_left), catalog)
+        right, right_over = _push(node.right, tuple(to_right), catalog)
+        rebuilt: Expression = (
+            Join(left, right) if isinstance(node, Join) else Product(left, right)
+        )
+        leftovers = tuple(stay) + left_over + right_over
+        # Atoms spanning both sides apply right here, above the join.
+        if leftovers:
+            applicable = [
+                a for a in leftovers
+                if a.variables() <= (left_schema | right_schema)
+            ]
+            rest = tuple(a for a in leftovers if a not in applicable)
+            if applicable:
+                rebuilt = Select(rebuilt, Condition.of_atoms(applicable))
+            return rebuilt, rest
+        return rebuilt, ()
+
+    if isinstance(node, Project):
+        kept = node.child.schema(catalog).nameset
+        inside = [a for a in pending if a.variables() <= kept]
+        outside = tuple(a for a in pending if a not in inside)
+        child, leftover = _push(node.child, tuple(inside), catalog)
+        return Project(child, node.attributes), outside + leftover
+
+    if isinstance(node, Rename):
+        # Map pending atoms back through the rename, push, and keep the
+        # rename on top.  Atoms mentioning non-renamed attributes pass
+        # through unchanged; renamed ones get their variables restored.
+        inverse = {new: old for old, new in node.mapping.items()}
+        mapped = []
+        for atom in pending:
+            mapped.append(_rename_atom(atom, inverse))
+        child, leftover = _push(node.child, tuple(mapped), catalog)
+        forward = dict(node.mapping)
+        restored = tuple(_rename_atom(a, forward) for a in leftover)
+        return Rename(child, node.mapping), restored
+
+    # Leaf (BaseRef) or unknown: attach whatever is pending right here.
+    if pending:
+        return Select(node, Condition.of_atoms(list(pending))), ()
+    return node, ()
+
+
+def _rename_atom(atom: Atom, mapping: Mapping[str, str]) -> Atom:
+    from repro.algebra.conditions import Var
+
+    left: object = atom.left
+    right: object = atom.right
+    if isinstance(left, Var) and left.name in mapping:
+        left = Var(mapping[left.name])
+    if isinstance(right, Var) and right.name in mapping:
+        right = Var(mapping[right.name])
+    return Atom(left, atom.op, right, atom.offset)

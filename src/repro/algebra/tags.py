@@ -1,0 +1,97 @@
+"""The paper's tag algebra (Section 5.3).
+
+To handle transactions that both insert and delete, the paper tags every
+tuple flowing through a differential evaluation as ``insert``,
+``delete`` or ``old`` and redefines the join to combine tags.  Two
+tables in the paper define the semantics; both are reproduced verbatim
+here and exercised by experiment **E6**.
+
+Join tag combination (the 9-row table of Section 5.3)::
+
+    r1      r2      r1 ⋈ r2
+    ------  ------  -------
+    insert  insert  insert
+    insert  delete  ignore
+    insert  old     insert
+    delete  insert  ignore
+    delete  delete  delete
+    delete  old     delete
+    old     insert  insert
+    old     delete  delete
+    old     old     old
+
+Select / project tag propagation (the unary table)::
+
+    r       σ(r) or π(r)
+    ------  ------------
+    insert  insert
+    delete  delete
+    old     old
+
+The meaning of ``old`` here is precise: a tuple tagged ``old`` is one
+present *both before and after* the transaction (``r − d_r``).  With
+that reading the table is exactly the algebraic expansion of
+``(r − d_r ∪ i_r) ⋈ (s − d_s ∪ i_s)``: combinations producing tuples
+present only in the new state are inserts, those present only in the old
+state are deletes, ``insert ⋈ delete`` pairs exist in *neither* state
+and are ignored ("do not emerge from the join", as the paper puts it).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Tag(enum.Enum):
+    """Provenance tag attached to tuples during differential evaluation."""
+
+    OLD = "old"
+    INSERT = "insert"
+    DELETE = "delete"
+    #: Result marker only — never attached to a stored tuple.
+    IGNORE = "ignore"
+
+    def __repr__(self) -> str:
+        return f"Tag.{self.name}"
+
+
+#: The paper's join tag table, keyed by the operand tags.
+JOIN_TAG_TABLE: dict[tuple[Tag, Tag], Tag] = {
+    (Tag.INSERT, Tag.INSERT): Tag.INSERT,
+    (Tag.INSERT, Tag.DELETE): Tag.IGNORE,
+    (Tag.INSERT, Tag.OLD): Tag.INSERT,
+    (Tag.DELETE, Tag.INSERT): Tag.IGNORE,
+    (Tag.DELETE, Tag.DELETE): Tag.DELETE,
+    (Tag.DELETE, Tag.OLD): Tag.DELETE,
+    (Tag.OLD, Tag.INSERT): Tag.INSERT,
+    (Tag.OLD, Tag.DELETE): Tag.DELETE,
+    (Tag.OLD, Tag.OLD): Tag.OLD,
+}
+
+#: The paper's unary (select/project) tag table.
+UNARY_TAG_TABLE: dict[Tag, Tag] = {
+    Tag.INSERT: Tag.INSERT,
+    Tag.DELETE: Tag.DELETE,
+    Tag.OLD: Tag.OLD,
+}
+
+
+def combine_join_tags(left: Tag, right: Tag) -> Tag:
+    """Tag of a joined tuple, per the paper's Section 5.3 table.
+
+    ``IGNORE`` operands are not valid inputs: the paper specifies that
+    ignored tuples are discarded *when performing the join*, so they can
+    never reach a subsequent combination.
+    """
+    try:
+        return JOIN_TAG_TABLE[(left, right)]
+    except KeyError:
+        raise ValueError(f"cannot combine tags {left!r} ⋈ {right!r}") from None
+
+
+def unary_tag(tag: Tag) -> Tag:
+    """Tag of a selected/projected tuple (identity on real tags)."""
+    try:
+        return UNARY_TAG_TABLE[tag]
+    except KeyError:
+        raise ValueError(f"{tag!r} cannot flow through a unary operator") from None

@@ -1,0 +1,125 @@
+"""Section 5.2's alternative (2): project-with-key views.
+
+To make deletions unambiguous in a project view, the paper considers
+two alternatives: (1) the multiplicity counter the library adopts, and
+(2) "include the key of the underlying relation within the set of
+attributes projected in the view.  This alternative allows unique
+identification of each tuple in the view."  The paper chooses (1)
+because (2) restricts the admissible views, and notes that (2) "becomes
+a special case of alternative (1) in which every tuple in the view has
+a counter value of one".
+
+:class:`KeyProjectionView` implements alternative (2) so the trade-off
+can be measured (experiment E4): it maintains ``π_{X ∪ K}(R)`` — the
+user's attributes widened with the key — in plain set semantics, and
+answers queries on ``X`` by projecting the key away on read.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algebra.evaluate import project_relation
+from repro.algebra.relation import Delta, Relation
+from repro.algebra.schema import RelationSchema
+from repro.algebra.tuples import Row
+from repro.errors import MaintenanceError, SchemaError
+from repro.instrumentation import charge
+
+
+class KeyProjectionView:
+    """A project view maintained by carrying the base relation's key.
+
+    Parameters
+    ----------
+    base_schema:
+        Schema of the underlying relation.
+    attributes:
+        The user-requested projection ``X``.
+    key:
+        Attributes forming a key of the base relation.  Base relations
+        here are sets of tuples, so the full attribute list is always a
+        valid (if maximal) key.
+    """
+
+    def __init__(
+        self,
+        base_schema: RelationSchema,
+        attributes: Sequence[str],
+        key: Sequence[str],
+    ) -> None:
+        self.base_schema = base_schema
+        self.attributes = tuple(attributes)
+        self.key = tuple(key)
+        missing = [a for a in self.attributes + self.key if a not in base_schema]
+        if missing:
+            raise SchemaError(
+                f"attributes {missing} are not in base schema {base_schema.names}"
+            )
+        # The stored schema is X widened with whatever key attributes X
+        # does not already include, preserving X's order first.
+        stored_names = list(self.attributes)
+        for name in self.key:
+            if name not in stored_names:
+                stored_names.append(name)
+        self.stored_schema = base_schema.project_schema(stored_names)
+        self._stored_positions = base_schema.positions(stored_names)
+        self.contents = Relation(self.stored_schema)
+
+    # ------------------------------------------------------------------
+    # Materialization and maintenance
+    # ------------------------------------------------------------------
+    def materialize(self, base: Relation) -> None:
+        """Load the widened projection of the base relation."""
+        if base.schema.names != self.base_schema.names:
+            raise SchemaError(
+                f"expected base schema {self.base_schema.names}, "
+                f"got {base.schema.names}"
+            )
+        self.contents = Relation(self.stored_schema)
+        for values, count in base.items():
+            if count != 1:
+                raise MaintenanceError(
+                    "key-projection views require set-semantics bases"
+                )
+            self.contents.add(self._stored_row(values))
+
+    def apply_delta(self, delta: Delta) -> None:
+        """Maintain through a base delta — trivially, thanks to the key.
+
+        Because stored tuples are uniquely identified, insertions and
+        deletions "cause no trouble": each base change maps to exactly
+        one stored-tuple change.
+        """
+        for values in delta.deleted:
+            charge("tuples_scanned")
+            self.contents.discard(self._stored_row(values))
+        for values in delta.inserted:
+            charge("tuples_scanned")
+            self.contents.add(self._stored_row(values))
+
+    def _stored_row(self, values: tuple[int, ...]) -> Row:
+        return Row(
+            self.stored_schema, tuple(values[i] for i in self._stored_positions)
+        )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def query(self) -> Relation:
+        """The user-visible view ``π_X``: project the key away on read.
+
+        This is the cost alternative (2) pays at query time — the read
+        does the count aggregation that alternative (1) keeps
+        incrementally maintained.
+        """
+        return project_relation(self.contents, self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.contents)
+
+    def __repr__(self) -> str:
+        return (
+            f"<KeyProjectionView π_{list(self.attributes)} "
+            f"+key{list(self.key)}: {len(self.contents)} stored tuples>"
+        )

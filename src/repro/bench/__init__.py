@@ -1,0 +1,16 @@
+"""Benchmark harness: cost accounting, sweeps and paper-style reports."""
+
+from repro.instrumentation import CostRecorder, recording, charge
+from repro.bench.harness import Measurement, run_measured, sweep
+from repro.bench.reporting import format_table, format_series
+
+__all__ = [
+    "CostRecorder",
+    "recording",
+    "charge",
+    "Measurement",
+    "run_measured",
+    "sweep",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,70 @@
+"""Measured execution and parameter sweeps.
+
+Every experiment in EXPERIMENTS.md boils down to: run a piece of work
+under a :class:`~repro.instrumentation.CostRecorder` and a wall clock,
+possibly across a sweep of one parameter, and print the resulting rows.
+This module is that harness.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable
+
+from repro.instrumentation import CostRecorder, recording
+
+
+class Measurement:
+    """One measured run: wall-clock seconds plus operation counters."""
+
+    __slots__ = ("label", "seconds", "counters", "result")
+
+    def __init__(
+        self, label: str, seconds: float, counters: dict[str, int], result: object
+    ) -> None:
+        self.label = label
+        self.seconds = seconds
+        self.counters = counters
+        self.result = result
+
+    def counter(self, name: str) -> int:
+        """A counter value (0 when the run never charged it)."""
+        return self.counters.get(name, 0)
+
+    def __repr__(self) -> str:
+        return f"<Measurement {self.label!r} {self.seconds * 1000:.2f} ms>"
+
+
+def run_measured(label: str, work: Callable[[], object]) -> Measurement:
+    """Run ``work`` once under a fresh recorder and a wall clock."""
+    recorder = CostRecorder()
+    start = time.perf_counter()
+    with recording(recorder):
+        result = work()
+    elapsed = time.perf_counter() - start
+    return Measurement(label, elapsed, recorder.snapshot(), result)
+
+
+def sweep(
+    parameter_values: Iterable[object],
+    make_work: Callable[[object], Callable[[], object]],
+    label: str = "{value}",
+) -> list[Measurement]:
+    """Measure ``make_work(value)()`` for each parameter value.
+
+    ``make_work`` receives the parameter and returns the zero-argument
+    callable to measure — construction (e.g. loading a database) is
+    thereby excluded from the measurement.
+    """
+    measurements = []
+    for value in parameter_values:
+        work = make_work(value)
+        measurements.append(run_measured(label.format(value=value), work))
+    return measurements
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """A guarded ratio for speedup columns (0 denominators give inf)."""
+    if denominator == 0:
+        return float("inf") if numerator > 0 else 1.0
+    return numerator / denominator

@@ -1,0 +1,62 @@
+"""Plain-text tables for benchmark output.
+
+The benchmarks print their reproduced tables and series to stdout in a
+stable aligned format, so the shape of each result (who wins, by what
+factor, where the crossover falls) is readable directly from
+``pytest benchmarks/ -s`` output and from ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return str(value)
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table.
+
+    >>> print(format_table(["x", "y"], [[1, 2.0], [10, 3.5]], title="demo"))
+    demo
+    x   y
+    --  -----
+    1   2.000
+    10  3.500
+    """
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple[object, object]],
+    title: str = "",
+) -> str:
+    """Render an (x, y) series as a two-column table."""
+    return format_table([x_label, y_label], [list(p) for p in points], title=title)

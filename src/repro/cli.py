@@ -1,0 +1,245 @@
+"""A tiny interactive shell over the public API.
+
+Intended for exploration and demos, not as a query language: the
+commands map one-to-one onto library calls, and the view syntax covers
+exactly the paper's SPJ class.
+
+Commands::
+
+    create table <name> (<attr>, <attr>, ...)
+    insert into <name> values (v, ...) [, (v, ...)]*
+    delete from <name> values (v, ...) [, (v, ...)]*
+    create view <name> as <rel> [join <rel>]* [where <condition>]
+                               [select <attr>, <attr>, ...]
+    create view <name> deferred as ...
+    refresh <view>
+    show <name>                 -- relation or view contents
+    stats <view>                -- maintenance counters
+    explain <view> changing <rel>[, <rel>]*
+                                -- the maintenance plan for an update
+    recommend indexes <view>    -- indexes the planner would probe
+    create index on <rel> (<attr>, ...)
+    tables / views              -- list catalog entries
+    drop view <name>
+    help
+    exit | quit
+
+Views may reference previously created views by name (stacked views).
+
+Run interactively with ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+from repro.algebra.expressions import BaseRef, Expression
+from repro.core.maintainer import MaintenancePolicy, ViewMaintainer
+from repro.engine.database import Database
+from repro.errors import ReproError
+
+
+class ShellError(ReproError):
+    """A command could not be parsed or executed."""
+
+
+_CREATE_TABLE = re.compile(
+    r"create\s+table\s+(\w+)\s*\(([^)]*)\)\s*$", re.IGNORECASE
+)
+_INSERT = re.compile(r"insert\s+into\s+(\w+)\s+values\s+(.*)$", re.IGNORECASE)
+_DELETE = re.compile(r"delete\s+from\s+(\w+)\s+values\s+(.*)$", re.IGNORECASE)
+_CREATE_VIEW = re.compile(
+    r"create\s+view\s+(\w+)\s+(deferred\s+)?as\s+(.*)$", re.IGNORECASE
+)
+_ROW = re.compile(r"\(([^)]*)\)")
+
+
+class Shell:
+    """State and command dispatch for one interactive session."""
+
+    def __init__(self, database: Database | None = None) -> None:
+        self.database = database if database is not None else Database()
+        self.maintainer = ViewMaintainer(self.database)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def execute(self, line: str) -> str:
+        """Run one command line; returns the text to display."""
+        line = line.strip().rstrip(";")
+        if not line:
+            return ""
+        lowered = line.lower()
+        if lowered in ("help", "?"):
+            return __doc__.split("Commands::", 1)[1].split("Run interactively", 1)[0]
+        if lowered in ("exit", "quit"):
+            raise EOFError
+        if lowered == "tables":
+            return ", ".join(self.database.relation_names()) or "(no tables)"
+        if lowered == "views":
+            return ", ".join(self.maintainer.view_names()) or "(no views)"
+
+        match = _CREATE_TABLE.match(line)
+        if match:
+            return self._create_table(match.group(1), match.group(2))
+        match = _INSERT.match(line)
+        if match:
+            return self._modify(match.group(1), match.group(2), insert=True)
+        match = _DELETE.match(line)
+        if match:
+            return self._modify(match.group(1), match.group(2), insert=False)
+        match = _CREATE_VIEW.match(line)
+        if match:
+            return self._create_view(
+                match.group(1), bool(match.group(2)), match.group(3)
+            )
+        if lowered.startswith("refresh "):
+            name = line.split(None, 1)[1].strip()
+            did = self.maintainer.refresh(name)
+            return f"refreshed {name}" if did else f"{name} was already current"
+        if lowered.startswith("show "):
+            return self._show(line.split(None, 1)[1].strip())
+        if lowered.startswith("stats "):
+            name = line.split(None, 1)[1].strip()
+            stats = self.maintainer.stats(name)
+            return "\n".join(f"{k}: {v}" for k, v in stats.as_dict().items())
+        if lowered.startswith("recommend indexes "):
+            name = line.split(None, 2)[2].strip()
+            recommendations = self.maintainer.recommended_indexes(name)
+            if not recommendations:
+                return f"view {name} needs no indexes"
+            return "\n".join(
+                f"create index on {rel} ({', '.join(attrs)})"
+                for rel, attrs in recommendations
+            )
+        match = re.match(
+            r"create\s+index\s+on\s+(\w+)\s*\(([^)]*)\)\s*$", line, re.IGNORECASE
+        )
+        if match:
+            attrs = [a.strip() for a in match.group(2).split(",") if a.strip()]
+            if not attrs:
+                raise ShellError("an index needs at least one attribute")
+            self.database.create_index(match.group(1), attrs)
+            return f"created index on {match.group(1)}({', '.join(attrs)})"
+        if lowered.startswith("explain "):
+            match = re.match(
+                r"explain\s+(\w+)\s+changing\s+(.*)$", line, re.IGNORECASE
+            )
+            if not match:
+                raise ShellError("usage: explain <view> changing <rel>[, <rel>]*")
+            relations = [
+                r.strip() for r in match.group(2).split(",") if r.strip()
+            ]
+            return self.maintainer.explain(match.group(1), relations)
+        if lowered.startswith("drop view "):
+            name = line.split(None, 2)[2].strip()
+            self.maintainer.drop_view(name)
+            return f"dropped view {name}"
+        raise ShellError(f"cannot parse: {line!r} (try 'help')")
+
+    # ------------------------------------------------------------------
+    # Command implementations
+    # ------------------------------------------------------------------
+    def _create_table(self, name: str, attr_text: str) -> str:
+        attrs = [a.strip() for a in attr_text.split(",") if a.strip()]
+        if not attrs:
+            raise ShellError("a table needs at least one attribute")
+        self.database.create_relation(name, attrs)
+        return f"created table {name}({', '.join(attrs)})"
+
+    def _parse_rows(self, text: str) -> list[tuple[int, ...]]:
+        rows = []
+        for match in _ROW.finditer(text):
+            cells = [c.strip() for c in match.group(1).split(",") if c.strip()]
+            try:
+                rows.append(tuple(int(c) for c in cells))
+            except ValueError:
+                raise ShellError(f"values must be integers: ({match.group(1)})")
+        if not rows:
+            raise ShellError("expected at least one (v, ...) row")
+        return rows
+
+    def _modify(self, name: str, rows_text: str, insert: bool) -> str:
+        rows = self._parse_rows(rows_text)
+        with self.database.transact() as txn:
+            for row in rows:
+                if insert:
+                    txn.insert(name, row)
+                else:
+                    txn.delete(name, row)
+        verb = "inserted into" if insert else "deleted from"
+        return f"{len(rows)} row(s) {verb} {name}"
+
+    def _create_view(self, name: str, deferred: bool, body: str) -> str:
+        expression = self._parse_view_body(body)
+        policy = (
+            MaintenancePolicy.DEFERRED if deferred else MaintenancePolicy.IMMEDIATE
+        )
+        view = self.maintainer.define_view(name, expression, policy=policy)
+        kind = "deferred" if deferred else "immediate"
+        return f"created {kind} view {name} ({len(view.contents)} tuples)"
+
+    def _parse_view_body(self, body: str) -> Expression:
+        """``<rel> [join <rel>]* [where <cond>] [select <attrs>]``."""
+        select_attrs: list[str] | None = None
+        lowered = body.lower()
+        select_index = lowered.rfind(" select ")
+        if select_index >= 0:
+            select_attrs = [
+                a.strip()
+                for a in body[select_index + len(" select "):].split(",")
+                if a.strip()
+            ]
+            body = body[:select_index]
+            lowered = body.lower()
+        condition: str | None = None
+        where_index = lowered.find(" where ")
+        if where_index >= 0:
+            condition = body[where_index + len(" where "):].strip()
+            body = body[:where_index]
+        relation_names = [
+            token.strip()
+            for token in re.split(r"\s+join\s+", body.strip(), flags=re.IGNORECASE)
+            if token.strip()
+        ]
+        if not relation_names:
+            raise ShellError("a view needs at least one relation")
+        expression: Expression = BaseRef(relation_names[0])
+        for relation_name in relation_names[1:]:
+            expression = expression.join(BaseRef(relation_name))
+        if condition:
+            expression = expression.select(condition)
+        if select_attrs:
+            expression = expression.project(select_attrs)
+        return expression
+
+    def _show(self, name: str) -> str:
+        if name in self.maintainer.view_names():
+            return self.maintainer.view(name).contents.pretty()
+        return self.database.relation(name).pretty()
+
+
+def main() -> int:  # pragma: no cover - interactive loop
+    """REPL entry point: ``python -m repro.cli``."""
+    shell = Shell()
+    print("repro shell — materialized views per Blakeley/Larson/Tompa 1986.")
+    print("Type 'help' for commands, 'quit' to leave.")
+    while True:
+        try:
+            line = input("repro> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        try:
+            output = shell.execute(line)
+        except EOFError:
+            return 0
+        except ReproError as exc:
+            output = f"error: {exc}"
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

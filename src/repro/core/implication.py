@@ -1,0 +1,153 @@
+"""Implication and minimization of conditions.
+
+A pleasant consequence of the paper's condition class being closed
+under *negation of atoms* — over discrete domains, ``¬(x ≤ y + c)`` is
+``x ≥ y + c + 1``, both inside the class — is that **implication is
+decidable** with the same Section 4 machinery:
+
+    C ⟹ a   iff   C ∧ ¬a is unsatisfiable.
+
+(The one exception is equality: ``¬(x = y + c)`` is a *disjunction*
+``x ≤ y + c − 1 ∨ x ≥ y + c + 1``, still a DNF in the class.)
+
+On top of implication this module builds:
+
+* :func:`implies` — does a conjunction entail an atom?
+* :func:`minimize_conjunction` — drop every atom entailed by the rest,
+  producing an equivalent, irredundant conjunction.  Useful at view-
+  definition time: smaller conditions mean fewer graph edges in every
+  Algorithm 4.1 screen and fewer compiled predicate checks per tuple.
+* :func:`conjunctions_equivalent` — mutual implication of all atoms.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.conditions import Atom, Condition, Conjunction
+from repro.core.satisfiability import is_satisfiable_conjunction
+from repro.errors import ConditionError
+
+
+def negate_atom(atom: Atom) -> list[Atom]:
+    """Disjuncts of ``¬atom``, each a single in-class atom.
+
+    Over discrete domains:
+
+    * ``¬(x ≤ y + c)`` → ``x ≥ y + c + 1``        (one disjunct)
+    * ``¬(x ≥ y + c)`` → ``x ≤ y + c − 1``        (one disjunct)
+    * ``¬(x <  y + c)`` → ``x ≥ y + c``
+    * ``¬(x >  y + c)`` → ``x ≤ y + c``
+    * ``¬(x =  y + c)`` → ``x ≤ y + c − 1``  ∨  ``x ≥ y + c + 1``
+
+    >>> [str(a) for a in negate_atom(Atom("x", "<", 10))]
+    ['x >= 10']
+    >>> [str(a) for a in negate_atom(Atom("x", "=", "y"))]
+    ['x <= y - 1', 'x >= y + 1']
+    """
+    if atom.is_ground():
+        raise ConditionError(f"negating ground atom {atom}: evaluate it instead")
+    left, right, offset = atom.left, atom.right, atom.offset
+    if atom.op == "<=":
+        return [Atom(left, ">=", right, offset + 1)]
+    if atom.op == ">=":
+        return [Atom(left, "<=", right, offset - 1)]
+    if atom.op == "<":
+        return [Atom(left, ">=", right, offset)]
+    if atom.op == ">":
+        return [Atom(left, "<=", right, offset)]
+    if atom.op == "=":
+        return [
+            Atom(left, "<=", right, offset - 1),
+            Atom(left, ">=", right, offset + 1),
+        ]
+    raise ConditionError(f"unexpected operator in {atom!r}")  # pragma: no cover
+
+
+def implies(conjunction: Conjunction, atom: Atom) -> bool:
+    """Does every solution of ``conjunction`` satisfy ``atom``?
+
+    Decided as unsatisfiability of ``conjunction ∧ ¬atom`` — one graph
+    test per negation disjunct.  An *unsatisfiable* conjunction implies
+    everything (vacuously), matching logical convention.
+
+    >>> from repro.algebra.conditions import parse_condition
+    >>> conj = parse_condition("x <= 3 and y >= x + 2").disjuncts[0]
+    >>> implies(conj, Atom("y", ">=", "x"))
+    True
+    >>> implies(conj, Atom("y", "<=", 10))
+    False
+    """
+    if atom.is_ground():
+        if atom.truth_value():
+            return True
+        return not is_satisfiable_conjunction(conjunction)
+    for negated in negate_atom(atom):
+        augmented = Conjunction(list(conjunction.atoms) + [negated])
+        if is_satisfiable_conjunction(augmented):
+            return False
+    return True
+
+
+def minimize_conjunction(conjunction: Conjunction) -> Conjunction:
+    """An equivalent conjunction with every redundant atom removed.
+
+    Iterates over atoms (ground atoms first — a true one is always
+    redundant) and drops any implied by the remaining ones.  The result
+    depends on iteration order for mutually-redundant sets (e.g. two
+    copies of the same atom: one survives), but is always equivalent
+    and irredundant.
+
+    >>> from repro.algebra.conditions import parse_condition
+    >>> conj = parse_condition("x < 5 and x < 7 and y = x + 1").disjuncts[0]
+    >>> str(minimize_conjunction(conj))
+    'x < 5 and y = x + 1'
+    """
+    kept = list(conjunction.atoms)
+    index = 0
+    while index < len(kept):
+        candidate = kept[index]
+        rest = Conjunction(kept[:index] + kept[index + 1:])
+        if candidate.is_ground():
+            redundant = candidate.truth_value() or not is_satisfiable_conjunction(rest)
+        else:
+            redundant = implies(rest, candidate)
+        if redundant:
+            kept.pop(index)
+        else:
+            index += 1
+    return Conjunction(kept)
+
+
+def conjunctions_equivalent(a: Conjunction, b: Conjunction) -> bool:
+    """Do two conjunctions have identical solution sets?
+
+    Mutual implication atom by atom; two unsatisfiable conjunctions are
+    equivalent.
+
+    >>> from repro.algebra.conditions import parse_condition
+    >>> c1 = parse_condition("x < 5").disjuncts[0]
+    >>> c2 = parse_condition("x <= 4").disjuncts[0]
+    >>> conjunctions_equivalent(c1, c2)
+    True
+    """
+    a_sat = is_satisfiable_conjunction(a)
+    b_sat = is_satisfiable_conjunction(b)
+    if not a_sat or not b_sat:
+        return a_sat == b_sat
+    # Both satisfiable, so any ground atoms they contain are true and
+    # mutual implication of the non-ground atoms decides equivalence.
+    return all(
+        implies(a, atom) for atom in b.atoms if not atom.is_ground()
+    ) and all(implies(b, atom) for atom in a.atoms if not atom.is_ground())
+
+
+def minimize_condition(condition: Condition) -> Condition:
+    """Minimize every disjunct and drop unsatisfiable ones.
+
+    The result may be ``Condition.false()`` when nothing survives.
+    """
+    survivors = []
+    for disjunct in condition.disjuncts:
+        if not is_satisfiable_conjunction(disjunct):
+            continue
+        survivors.append(minimize_conjunction(disjunct))
+    return Condition(survivors)

@@ -1,0 +1,532 @@
+"""The view maintainer: filter, then differentially re-evaluate.
+
+This is the top of the paper's architecture.  All database updates are
+"first filtered to remove from consideration those that cannot possibly
+affect the view" (Section 4); for the remaining updates "a differential
+algorithm can be applied to re-evaluate the view expression"
+(Section 5).  :class:`ViewMaintainer` wires both stages into a
+database's commit pipeline:
+
+* **Immediate** views are brought up to date inside every commit — the
+  paper's default assumption ("views are materialized every time a
+  transaction updates the database").
+* **Deferred** views are *snapshots* [AL80]: commits only compose the
+  net deltas per view, and :meth:`refresh` applies the accumulated
+  change on demand, through exactly the same differential machinery.
+
+The maintainer also manages lazily-created hash indexes on base
+relations so the planner can probe large OLD operands by join key
+instead of re-hashing them on every transaction.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterable, Mapping, Optional
+
+from repro.algebra.expressions import Expression
+from repro.algebra.relation import Delta
+from repro.algebra.tags import Tag
+from repro.core.differential import compute_view_delta
+from repro.core.irrelevance import filter_delta
+from repro.core.planner import ProbeFn
+from repro.core.views import MaterializedView, ViewDefinition
+from repro.engine.database import Database
+from repro.errors import MaintenanceError, UnknownViewError
+from repro.instrumentation import charge
+
+ValueTuple = tuple[int, ...]
+
+
+class MaintenancePolicy(enum.Enum):
+    """When a view is brought up to date."""
+
+    #: Inside every committing transaction (the paper's main setting).
+    IMMEDIATE = "immediate"
+    #: On demand / periodically — snapshot refresh (Section 6, [AL80]).
+    DEFERRED = "deferred"
+
+
+class MaintenanceStats:
+    """Per-view maintenance counters."""
+
+    __slots__ = (
+        "transactions_seen",
+        "transactions_skipped",
+        "deltas_applied",
+        "tuples_screened",
+        "tuples_irrelevant",
+        "view_tuples_inserted",
+        "view_tuples_deleted",
+    )
+
+    def __init__(self) -> None:
+        self.transactions_seen = 0
+        self.transactions_skipped = 0
+        self.deltas_applied = 0
+        self.tuples_screened = 0
+        self.tuples_irrelevant = 0
+        self.view_tuples_inserted = 0
+        self.view_tuples_deleted = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counter values as a plain dict (for reports)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"<MaintenanceStats {inner}>"
+
+
+class ViewMaintainer:
+    """Maintains a set of materialized views over one database.
+
+    Parameters
+    ----------
+    database:
+        The database whose commits to observe.
+    use_relevance_filter:
+        Screen deltas with the Section 4 filter before differential
+        evaluation (default on; E10's ablation switch).
+    share_subexpressions:
+        Memoize partial joins across truth-table rows (default on;
+        E13's ablation switch).
+    use_indexes:
+        Lazily create hash indexes on base relations so OLD operands
+        are probed rather than re-hashed per transaction (default on).
+    auto_verify:
+        After every maintenance step, recompute the view from scratch
+        and compare — a self-checking mode for tests and debugging.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        use_relevance_filter: bool = True,
+        share_subexpressions: bool = True,
+        use_indexes: bool = True,
+        auto_verify: bool = False,
+    ) -> None:
+        self.database = database
+        self.use_relevance_filter = use_relevance_filter
+        self.share_subexpressions = share_subexpressions
+        self.use_indexes = use_indexes
+        self.auto_verify = auto_verify
+        self._views: dict[str, MaterializedView] = {}
+        self._policies: dict[str, MaintenancePolicy] = {}
+        self._pending: dict[str, dict[str, Delta]] = {}
+        self._stats: dict[str, MaintenanceStats] = {}
+        #: Per view: names it reads (base relations and upstream views).
+        self._dependencies: dict[str, frozenset[str]] = {}
+        self._subscribers: dict[str, list[Callable[[MaterializedView, Delta], None]]] = {}
+        database.add_commit_hook(self._on_commit)
+
+    # ------------------------------------------------------------------
+    # View management
+    # ------------------------------------------------------------------
+    def define_view(
+        self,
+        name: str,
+        expression: Expression,
+        policy: MaintenancePolicy = MaintenancePolicy.IMMEDIATE,
+    ) -> MaterializedView:
+        """Register and materialize a view.
+
+        The initial materialization is a complete evaluation of the
+        defining expression — differential maintenance takes over from
+        the next commit.
+
+        The expression may reference *other registered views* by name
+        (views over views): the upstream view then acts as a base
+        relation whose per-commit delta is the one this maintainer just
+        applied to it.  Upstream views must be IMMEDIATE — a deferred
+        upstream has no per-commit delta to propagate.
+        """
+        if name in self._views:
+            raise MaintenanceError(f"view {name!r} is already defined")
+        if name in self.database.relation_names():
+            raise MaintenanceError(
+                f"view name {name!r} collides with a base relation; views "
+                "and relations share one namespace (stacked views resolve "
+                "references through it)"
+            )
+        definition = ViewDefinition(name, expression, self._combined_catalog())
+        referenced = frozenset(definition.normal_form.relation_names)
+        view_deps = referenced & self._views.keys()
+        for dep in sorted(view_deps):
+            if self._policies[dep] is not MaintenancePolicy.IMMEDIATE:
+                raise MaintenanceError(
+                    f"view {name!r} references deferred view {dep!r}; "
+                    "stacked views require IMMEDIATE upstream maintenance"
+                )
+        view = MaterializedView.materialize(definition, self._combined_instances())
+        view.last_refresh_sequence = self.database.log.last_sequence()
+        self._views[name] = view
+        self._policies[name] = policy
+        self._pending[name] = {}
+        self._stats[name] = MaintenanceStats()
+        self._dependencies[name] = referenced
+        return view
+
+    def drop_view(self, name: str) -> None:
+        """Forget a view (its contents are discarded)."""
+        self._require_view(name)
+        dependants = [
+            other
+            for other, deps in self._dependencies.items()
+            if name in deps and other != name
+        ]
+        if dependants:
+            raise MaintenanceError(
+                f"cannot drop view {name!r}: referenced by {sorted(dependants)}"
+            )
+        del self._views[name]
+        del self._policies[name]
+        del self._pending[name]
+        del self._stats[name]
+        del self._dependencies[name]
+        self._subscribers.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Combined catalogs (base relations + registered views)
+    # ------------------------------------------------------------------
+    def _combined_catalog(self):
+        catalog = dict(self.database.schema_catalog())
+        for view_name, view in self._views.items():
+            catalog[view_name] = view.contents.schema
+        return catalog
+
+    def _combined_instances(self):
+        instances = dict(self.database.instances())
+        for view_name, view in self._views.items():
+            instances[view_name] = view.contents
+        return instances
+
+    def subscribe(
+        self, name: str, callback: Callable[[MaterializedView, Delta], None]
+    ) -> None:
+        """Receive every non-empty delta applied to view ``name``.
+
+        Callbacks run right after the delta is applied (and after
+        ``auto_verify``, when enabled), inside the commit for immediate
+        views and inside ``refresh()`` for deferred ones.  This is the
+        natural hook for alerters [BC79]: the view delta *is* the alert
+        stream.
+        """
+        self._require_view(name)
+        self._subscribers.setdefault(name, []).append(callback)
+
+    def unsubscribe(
+        self, name: str, callback: Callable[[MaterializedView, Delta], None]
+    ) -> None:
+        """Remove a previously registered subscriber (no-op if absent)."""
+        try:
+            self._subscribers.get(name, []).remove(callback)
+        except ValueError:
+            pass
+
+    def view(self, name: str) -> MaterializedView:
+        """The materialized view registered under ``name``."""
+        self._require_view(name)
+        return self._views[name]
+
+    def view_names(self) -> tuple[str, ...]:
+        """All registered view names, sorted."""
+        return tuple(sorted(self._views))
+
+    def stats(self, name: str) -> MaintenanceStats:
+        """Maintenance counters for one view."""
+        self._require_view(name)
+        return self._stats[name]
+
+    def policy(self, name: str) -> MaintenancePolicy:
+        """The registered maintenance policy for one view."""
+        self._require_view(name)
+        return self._policies[name]
+
+    def explain(self, name: str, changed_relations: Iterable[str]) -> str:
+        """Describe the maintenance plan for a hypothetical update.
+
+        ``changed_relations`` names the base relations a transaction
+        would touch; the returned text shows the truth-table rows, the
+        delta-first join order, and the pushdown decisions the planner
+        would execute — useful when deciding which indexes to declare
+        or why a view is expensive to maintain.
+        """
+        from repro.core.planner import RowPlanner
+
+        self._require_view(name)
+        normal_form = self._views[name].definition.normal_form
+        changed_set = set(changed_relations)
+        positions = [
+            i
+            for i, occ in enumerate(normal_form.occurrences)
+            if occ.name in changed_set
+        ]
+        if not positions:
+            return (
+                f"view {name!r}: none of {sorted(changed_set)} participate; "
+                "no maintenance needed"
+            )
+        planner = RowPlanner(
+            normal_form,
+            positions,
+            share_subexpressions=self.share_subexpressions,
+            index_probe=None,
+        )
+        return planner.describe()
+
+    def recommended_indexes(self, name: str) -> tuple[tuple[str, tuple[str, ...]], ...]:
+        """Indexes the planner would probe while maintaining this view.
+
+        Simulates the delta-first plan for every single-relation update
+        (the common case) and collects, for each OLD operand joined by
+        equality links, the base relation and link attributes — exactly
+        the indexes the lazy path would create on first use.  Returns
+        sorted ``(relation_name, attributes)`` pairs.
+        """
+        from repro.core.planner import RowPlanner
+
+        self._require_view(name)
+        normal_form = self._views[name].definition.normal_form
+        recommendations: set[tuple[str, tuple[str, ...]]] = set()
+        for changed in range(len(normal_form.occurrences)):
+            planner = RowPlanner(normal_form, [changed])
+            for step in planner._steps:
+                if step.position == changed or not step.link_attr_names:
+                    continue
+                occurrence = normal_form.occurrences[step.position]
+                if occurrence.name in self._views:
+                    continue  # view operands carry no persistent index
+                base_attrs = tuple(
+                    occurrence.inverse[q] for q in step.link_attr_names
+                )
+                recommendations.add((occurrence.name, base_attrs))
+        return tuple(sorted(recommendations))
+
+    def create_recommended_indexes(self, name: str) -> int:
+        """Eagerly create every recommended index; returns how many.
+
+        Without this, the same indexes appear lazily on first use; with
+        it, the first maintenance after a bulk load avoids the one-off
+        index-build latency.
+        """
+        created = 0
+        for relation_name, attrs in self.recommended_indexes(name):
+            before = self.database.indexes.lookup(relation_name, attrs)
+            self.database.create_index(relation_name, attrs)
+            if before is None:
+                created += 1
+        return created
+
+    def report(self) -> str:
+        """A formatted per-view maintenance summary table."""
+        from repro.bench.reporting import format_table
+
+        rows = []
+        for name in self.view_names():
+            stats = self._stats[name]
+            rows.append(
+                [
+                    name,
+                    self._policies[name].value,
+                    len(self._views[name].contents),
+                    stats.transactions_seen,
+                    stats.transactions_skipped,
+                    stats.deltas_applied,
+                    stats.tuples_screened,
+                    stats.tuples_irrelevant,
+                ]
+            )
+        return format_table(
+            [
+                "view",
+                "policy",
+                "tuples",
+                "seen",
+                "skipped",
+                "applied",
+                "screened",
+                "irrelevant",
+            ],
+            rows,
+            title="view maintenance summary",
+        )
+
+    def detach(self) -> None:
+        """Stop observing commits (views stop being maintained)."""
+        self.database.remove_commit_hook(self._on_commit)
+
+    def _require_view(self, name: str) -> None:
+        if name not in self._views:
+            raise UnknownViewError(f"no view named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Commit-side
+    # ------------------------------------------------------------------
+    def _on_commit(self, txn_id: int, deltas: Mapping[str, Delta]) -> None:
+        if not deltas:
+            return
+        # Views are processed in definition order: upstream views exist
+        # before anything that references them, so each view's operand
+        # deltas — base-relation deltas from the transaction plus the
+        # view deltas just applied upstream — are ready when needed.
+        applied_view_deltas: dict[str, Delta] = {}
+        for name, view in self._views.items():
+            effective: dict[str, Delta] = {}
+            for dep in self._dependencies[name]:
+                delta = deltas.get(dep)
+                if delta is None:
+                    delta = applied_view_deltas.get(dep)
+                if delta is not None and not delta.is_empty():
+                    effective[dep] = delta
+            if not effective:
+                continue
+            if self._policies[name] is MaintenancePolicy.IMMEDIATE:
+                view_delta = self._maintain(name, view, effective)
+                if not view_delta.is_empty():
+                    applied_view_deltas[name] = view_delta
+            else:
+                pending = self._pending[name]
+                for relation_name, delta in effective.items():
+                    existing = pending.get(relation_name)
+                    composed = (
+                        delta if existing is None else existing.compose(delta)
+                    )
+                    if composed.is_empty():
+                        pending.pop(relation_name, None)
+                    else:
+                        pending[relation_name] = composed
+
+    # ------------------------------------------------------------------
+    # Refresh-side (deferred views)
+    # ------------------------------------------------------------------
+    def refresh(self, name: str) -> bool:
+        """Bring a deferred view up to date; True when work was done.
+
+        The composed deltas accumulated since the last refresh behave
+        exactly like one large transaction's net effect, so the same
+        filter + differential pipeline applies (the paper's closing
+        observation that its approach "also applies to this
+        environment").
+        """
+        self._require_view(name)
+        view = self._views[name]
+        pending = self._pending[name]
+        if not pending:
+            view.last_refresh_sequence = self.database.log.last_sequence()
+            return False
+        self._pending[name] = {}
+        self._maintain(name, view, pending)
+        return True
+
+    def pending_deltas(self, name: str) -> dict[str, Delta]:
+        """A deferred view's composed, not-yet-applied deltas."""
+        self._require_view(name)
+        return dict(self._pending[name])
+
+    # ------------------------------------------------------------------
+    # The filter + differential pipeline
+    # ------------------------------------------------------------------
+    def _maintain(
+        self, name: str, view: MaterializedView, deltas: Mapping[str, Delta]
+    ) -> Delta:
+        """Run the filter + differential pipeline; returns the applied
+        view delta (empty when everything was screened)."""
+        stats = self._stats[name]
+        stats.transactions_seen += 1
+        normal_form = view.definition.normal_form
+
+        relevant: dict[str, Delta] = {}
+        for relation_name, delta in deltas.items():
+            if self.use_relevance_filter:
+                filtered, filter_stats = filter_delta(
+                    normal_form, relation_name, delta
+                )
+                stats.tuples_screened += filter_stats.checked
+                stats.tuples_irrelevant += filter_stats.irrelevant
+                if not filtered.is_empty():
+                    relevant[relation_name] = filtered
+            else:
+                if not delta.is_empty():
+                    relevant[relation_name] = delta
+
+        if not relevant:
+            # Every update was provably irrelevant: the view is already
+            # up to date — the payoff Section 4 is after.
+            stats.transactions_skipped += 1
+            charge("transactions_skipped_irrelevant")
+            view.last_refresh_sequence = self.database.log.last_sequence()
+            return Delta(view.contents.schema)
+
+        view_delta = compute_view_delta(
+            normal_form,
+            self._combined_instances(),
+            relevant,
+            share_subexpressions=self.share_subexpressions,
+            index_probe=self._index_probe_factory(view, relevant),
+        )
+        stats.view_tuples_inserted += len(view_delta.inserted)
+        stats.view_tuples_deleted += len(view_delta.deleted)
+        view.apply_delta(view_delta)
+        stats.deltas_applied += 1
+        view.last_refresh_sequence = self.database.log.last_sequence()
+
+        if self.auto_verify:
+            from repro.core.consistency import check_view_consistency
+
+            check_view_consistency(view, self._combined_instances())
+
+        if not view_delta.is_empty():
+            for callback in self._subscribers.get(name, ()):
+                callback(view, view_delta)
+        return view_delta
+
+    def _index_probe_factory(
+        self, view: MaterializedView, deltas: Mapping[str, Delta]
+    ):
+        """Build the planner's OLD-operand index hook for one call.
+
+        Indexes store the *post-commit* base relation, while OLD
+        semantics wants ``r − d_r = post − i_r``; probe results are
+        therefore screened against the inserted tuples of the delta in
+        hand.  When the relevance filter dropped some inserts, those
+        tuples do survive in the probe results — harmlessly, because an
+        irrelevant tuple fails the view condition in every combination
+        and so contributes nothing to any truth-table row.
+        """
+        if not self.use_indexes:
+            return None
+        normal_form = view.definition.normal_form
+
+        def probe_hook(
+            position: int, link_attrs: tuple[str, ...]
+        ) -> Optional[ProbeFn]:
+            occurrence = normal_form.occurrences[position]
+            if occurrence.name in self._views:
+                # View-typed operands have no persistent index; the
+                # planner falls back to hashing their contents.
+                return None
+            base_attrs = tuple(occurrence.inverse[q] for q in link_attrs)
+            index = self.database.indexes.lookup(occurrence.name, base_attrs)
+            if index is None:
+                index = self.database.create_index(occurrence.name, base_attrs)
+            delta = deltas.get(occurrence.name)
+            inserted = delta.inserted if delta is not None else {}
+
+            def probe(key: ValueTuple):
+                for values in index.probe(key):
+                    if values in inserted:
+                        continue
+                    yield values, Tag.OLD, 1
+
+            return probe
+
+        return probe_hook
+
+    def __repr__(self) -> str:
+        return (
+            f"<ViewMaintainer {len(self._views)} views, "
+            f"filter={'on' if self.use_relevance_filter else 'off'}, "
+            f"sharing={'on' if self.share_subexpressions else 'off'}>"
+        )

@@ -1,0 +1,107 @@
+"""Normalization of atomic formulae (Section 4, Algorithm 4.1 step 1).
+
+The satisfiability test operates on conjunctions whose atoms use only
+the comparison operators ``≤`` and ``≥``.  Because all domains are
+*discrete* (Section 3), strict comparisons and equalities rewrite
+exactly:
+
+* ``x <  y + c``  →  ``x ≤ y + c − 1``
+* ``x >  y + c``  →  ``x ≥ y + c + 1``
+* ``x =  y + c``  →  ``x ≤ y + c``  and  ``x ≥ y + c``
+* ``x ≤ / ≥ …``   →  unchanged
+
+The same rules apply to single-variable atoms (``x < 10`` becomes
+``x ≤ 9``) since a constant right side is just ``y`` fixed.  Fully
+ground atoms (``c op d``) are *evaluated* instead of normalized: a
+false one makes the conjunction trivially unsatisfiable, a true one is
+dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algebra.conditions import Atom, Conjunction
+from repro.errors import ConditionError
+
+
+class NormalizedConjunction:
+    """A conjunction reduced to ``≤``/``≥`` atoms plus a triviality flag.
+
+    Attributes
+    ----------
+    atoms:
+        The normalized non-ground atoms.  Every atom's operator is
+        ``<=`` or ``>=``, and every atom mentions at least one variable.
+    trivially_false:
+        True when some ground atom evaluated to false, making the whole
+        conjunction unsatisfiable with no graph work needed.
+    """
+
+    __slots__ = ("atoms", "trivially_false")
+
+    def __init__(self, atoms: Iterable[Atom], trivially_false: bool) -> None:
+        self.atoms = tuple(atoms)
+        self.trivially_false = trivially_false
+
+    def variables(self) -> frozenset[str]:
+        """All variables mentioned by the normalized atoms."""
+        out: frozenset[str] = frozenset()
+        for atom in self.atoms:
+            out |= atom.variables()
+        return out
+
+    def __repr__(self) -> str:
+        if self.trivially_false:
+            return "<NormalizedConjunction FALSE>"
+        return f"<NormalizedConjunction {' and '.join(map(str, self.atoms)) or 'true'}>"
+
+
+def normalize_atom(atom: Atom) -> list[Atom]:
+    """Rewrite one atom into equivalent ``≤``/``≥`` atoms.
+
+    Ground atoms are not accepted here — callers evaluate them first
+    (see :func:`normalize_conjunction`).
+
+    >>> [str(a) for a in normalize_atom(Atom("x", "<", "y", 3))]
+    ['x <= y + 2']
+    >>> [str(a) for a in normalize_atom(Atom("x", "=", "y"))]
+    ['x <= y', 'x >= y']
+    """
+    if atom.is_ground():
+        raise ConditionError(f"ground atom {atom} should be evaluated, not normalized")
+    left, right, offset = atom.left, atom.right, atom.offset
+    if atom.op == "<=":
+        return [atom]
+    if atom.op == ">=":
+        return [atom]
+    if atom.op == "<":
+        return [Atom(left, "<=", right, offset - 1)]
+    if atom.op == ">":
+        return [Atom(left, ">=", right, offset + 1)]
+    if atom.op == "=":
+        return [Atom(left, "<=", right, offset), Atom(left, ">=", right, offset)]
+    raise ConditionError(f"unexpected operator in {atom!r}")  # pragma: no cover
+
+
+def normalize_conjunction(conjunction: Conjunction) -> NormalizedConjunction:
+    """Normalize every atom of a conjunction; evaluate ground atoms.
+
+    >>> from repro.algebra.conditions import parse_condition
+    >>> c = parse_condition("x < 10 and 3 <= 7 and x >= y + 1").disjuncts[0]
+    >>> nc = normalize_conjunction(c)
+    >>> [str(a) for a in nc.atoms]
+    ['x <= 9', 'x >= y + 1']
+    >>> normalize_conjunction(
+    ...     parse_condition("11 < 10 and x > 0").disjuncts[0]
+    ... ).trivially_false
+    True
+    """
+    atoms: list[Atom] = []
+    for atom in conjunction.atoms:
+        if atom.is_ground():
+            if not atom.truth_value():
+                return NormalizedConjunction((), trivially_false=True)
+            continue
+        atoms.extend(normalize_atom(atom))
+    return NormalizedConjunction(atoms, trivially_false=False)

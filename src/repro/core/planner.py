@@ -1,0 +1,515 @@
+"""Evaluation of truth-table rows, with shared subexpressions.
+
+Section 5.3 observes that once the truth-table rows to evaluate are
+known, "we can further reduce the cost of materializing the view by
+using an algorithm to determine a good order for execution of the
+joins.  Notice that a new feature of our problem is the possibility of
+saving computation by re-using partial subexpressions appearing in
+multiple rows within the table."  Section 5.4 adds that each row's SPJ
+expression can be evaluated by "some known algorithm" — the paper cites
+QUEL decomposition; we substitute a direct pipelined hash-join
+evaluator (see DESIGN.md).
+
+This planner implements those ideas concretely:
+
+* **Order** — operands are evaluated delta-first (changed positions,
+  then unchanged ones).  Deltas are typically tiny, so intermediate
+  results stay small and each subsequent join probes a large "old"
+  operand with few keys.
+
+* **Sharing** — rows are evaluated left-deep over that fixed order and
+  every prefix result is memoized on its (position, choice) signature.
+  Because unchanged operands are OLD in every row, rows share all work
+  up to the first differing changed choice; with ``k`` changed
+  relations the 2^k − 1 rows collapse into a binary trie of partial
+  joins.  Experiment E13 measures the effect of turning this off.
+
+* **Selection pushdown** — atoms of the view condition that appear in
+  every DNF disjunct are applied as early as their variables are bound:
+  equality atoms spanning the frontier become hash-join keys (with the
+  paper's ``x = y + c`` offsets honoured), single-operand atoms become
+  operand prefilters, and the rest become step post-filters.  With a
+  purely conjunctive condition nothing is left for a final pass; a
+  multi-disjunct condition is re-checked once at the end.
+
+* **Index probes** — an optional ``index_probe`` callback lets the
+  caller (the view maintainer) answer OLD-operand probes from a
+  persistent hash index instead of materializing and hashing the whole
+  base relation per evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.algebra.conditions import Atom, Condition, Var
+from repro.algebra.evaluate import compile_condition
+from repro.algebra.expressions import NormalForm
+from repro.algebra.relation import TaggedRelation
+from repro.algebra.schema import RelationSchema
+from repro.algebra.tags import Tag, combine_join_tags
+from repro.core.truthtable import DeltaRowChoice, Rows
+from repro.instrumentation import charge
+
+ValueTuple = tuple[int, ...]
+
+#: Rows returned by a probe: (encoded values, tag, count).
+ProbeRow = tuple[ValueTuple, Tag, int]
+#: A probe function: join-key values -> matching operand rows.
+ProbeFn = Callable[[ValueTuple], Iterable[ProbeRow]]
+#: Caller-provided index hook:
+#: (position, link_attr_qualified_names) -> ProbeFn or None.
+IndexProbe = Callable[[int, tuple[str, ...]], Optional[ProbeFn]]
+
+
+class _StepPlan:
+    """Static plan for joining one operand onto the accumulator."""
+
+    __slots__ = (
+        "position",
+        "operand_schema",
+        "acc_schema",
+        "eq_links",
+        "link_attr_names",
+        "prefilter",
+        "postfilter",
+        "operand_key_positions",
+    )
+
+    def __init__(
+        self,
+        position: int,
+        operand_schema: RelationSchema,
+        acc_schema: RelationSchema,
+        eq_links: Sequence[tuple[int, str, int]],
+        prefilter_atoms: Sequence[Atom],
+        postfilter_atoms: Sequence[Atom],
+    ) -> None:
+        self.position = position
+        self.operand_schema = operand_schema
+        self.acc_schema = acc_schema
+        # (acc value position, operand attr name, shift): the operand
+        # attribute must equal acc[pos] + shift.
+        self.eq_links = tuple(eq_links)
+        self.link_attr_names = tuple(name for _, name, _ in self.eq_links)
+        self.operand_key_positions = tuple(
+            operand_schema.index(name) for name in self.link_attr_names
+        )
+        self.prefilter = (
+            compile_condition(Condition.of_atoms(prefilter_atoms), operand_schema)
+            if prefilter_atoms
+            else None
+        )
+        self.postfilter = (
+            compile_condition(Condition.of_atoms(postfilter_atoms), acc_schema)
+            if postfilter_atoms
+            else None
+        )
+
+
+class RowPlanner:
+    """Evaluates a batch of truth-table rows for one view and one
+    transaction's operands.
+
+    Parameters
+    ----------
+    normal_form:
+        The view in paper normal form.
+    changed_positions:
+        Occurrence positions with a non-empty (filtered) delta.
+    share_subexpressions:
+        Memoize prefix joins across rows (default on; E13's ablation
+        switch).
+    index_probe:
+        Optional hook answering OLD-operand probes from an index.
+    """
+
+    def __init__(
+        self,
+        normal_form: NormalForm,
+        changed_positions: Sequence[int],
+        share_subexpressions: bool = True,
+        index_probe: IndexProbe | None = None,
+    ) -> None:
+        self.normal_form = normal_form
+        self.share = share_subexpressions
+        self.index_probe = index_probe
+        self.changed = tuple(sorted(set(changed_positions)))
+        unchanged = [
+            i for i in range(len(normal_form.occurrences)) if i not in self.changed
+        ]
+        #: Evaluation order: delta positions first, then unchanged.
+        self.order: tuple[int, ...] = self.changed + tuple(unchanged)
+        self._build_steps()
+
+    # ------------------------------------------------------------------
+    # Static planning
+    # ------------------------------------------------------------------
+    def _operand_schema(self, position: int) -> RelationSchema:
+        occurrence = self.normal_form.occurrences[position]
+        qualified = self.normal_form.qualified_schema
+        return qualified.project_schema(occurrence.qualified_names())
+
+    def _build_steps(self) -> None:
+        nf = self.normal_form
+        disjuncts = nf.condition.disjuncts
+        if disjuncts:
+            pushable = list(disjuncts[0].atoms)
+            for other in disjuncts[1:]:
+                other_set = set(other.atoms)
+                pushable = [a for a in pushable if a in other_set]
+        else:
+            pushable = []
+        self._needs_final_filter = len(disjuncts) != 1
+
+        # Ground atoms shared by every disjunct evaluate at plan time: a
+        # false one makes the whole condition unsatisfiable, so no row
+        # can ever contribute anything.
+        self._always_empty = False
+        ground = [a for a in pushable if a.is_ground()]
+        pushable = [a for a in pushable if not a.is_ground()]
+        for atom in ground:
+            if not atom.truth_value():
+                self._always_empty = True
+
+        assigned = [False] * len(pushable)
+        bound: set[str] = set()
+        steps: list[_StepPlan] = []
+        acc_schema: RelationSchema | None = None
+
+        for step_index, position in enumerate(self.order):
+            operand_schema = self._operand_schema(position)
+            operand_names = set(operand_schema.names)
+            new_acc_schema = (
+                operand_schema
+                if acc_schema is None
+                else acc_schema.concat(operand_schema)
+            )
+
+            eq_links: list[tuple[int, str, int]] = []
+            prefilter_atoms: list[Atom] = []
+            postfilter_atoms: list[Atom] = []
+            for idx, atom in enumerate(pushable):
+                if assigned[idx]:
+                    continue
+                atom_vars = atom.variables()
+                if not atom_vars <= (bound | operand_names):
+                    continue
+                if not atom_vars & operand_names:
+                    continue  # should have been applied at an earlier step
+                if atom_vars <= operand_names:
+                    prefilter_atoms.append(atom)
+                    assigned[idx] = True
+                    continue
+                link = self._as_eq_link(atom, bound, operand_schema, acc_schema)
+                if link is not None:
+                    eq_links.append(link)
+                    assigned[idx] = True
+                    continue
+                postfilter_atoms.append(atom)
+                assigned[idx] = True
+
+            steps.append(
+                _StepPlan(
+                    position,
+                    operand_schema,
+                    new_acc_schema,
+                    eq_links,
+                    prefilter_atoms,
+                    postfilter_atoms,
+                )
+            )
+            bound |= operand_names
+            acc_schema = new_acc_schema
+
+        assert acc_schema is not None
+        self._steps = steps
+        self._final_schema = acc_schema
+        self._final_filter = (
+            compile_condition(nf.condition, acc_schema)
+            if self._needs_final_filter
+            else None
+        )
+        self._projection_positions = tuple(
+            acc_schema.index(qualified) for _, qualified in nf.projection
+        )
+        self._output_schema = nf.output_schema()
+
+    @staticmethod
+    def _as_eq_link(
+        atom: Atom,
+        bound: set[str],
+        operand_schema: RelationSchema,
+        acc_schema: RelationSchema | None,
+    ) -> tuple[int, str, int] | None:
+        """Interpret ``atom`` as a hash-join key linking acc to operand.
+
+        Returns ``(acc_position, operand_attr, shift)`` such that the
+        join requires ``operand_attr == acc_values[acc_position] + shift``,
+        or ``None`` when the atom is not a usable equality link.
+        """
+        if acc_schema is None or atom.op != "=" or not atom.is_two_variable():
+            return None
+        assert isinstance(atom.left, Var) and isinstance(atom.right, Var)
+        x, y, c = atom.left.name, atom.right.name, atom.offset
+        # Atom means value(x) = value(y) + c.
+        if x in bound and y in operand_schema.nameset:
+            # value(y) = value(x) - c
+            return (acc_schema.index(x), y, -c)
+        if y in bound and x in operand_schema.nameset:
+            # value(x) = value(y) + c
+            return (acc_schema.index(y), x, c)
+        return None
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate_rows(
+        self,
+        rows: Iterable[Rows],
+        operands: Sequence[Mapping[DeltaRowChoice, TaggedRelation]],
+    ) -> TaggedRelation:
+        """Evaluate every row and merge the projected, tagged results.
+
+        ``operands[position][choice]`` supplies the tagged tuples of
+        each occurrence under each truth-table choice; DELTA entries are
+        only consulted for changed positions.
+        """
+        memo: dict[tuple, TaggedRelation] = {}
+        hash_cache: dict[tuple[int, DeltaRowChoice], dict] = {}
+        merged = TaggedRelation(self._output_schema)
+        if self._always_empty:
+            return merged
+
+        for row in rows:
+            charge("delta_rows_evaluated")
+            result = self._eval_prefix(
+                len(self._steps) - 1, row, operands, memo, hash_cache
+            )
+            self._project_into(result, merged)
+        return merged
+
+    def _eval_prefix(
+        self,
+        step_index: int,
+        row: Rows,
+        operands: Sequence[Mapping[DeltaRowChoice, TaggedRelation]],
+        memo: dict,
+        hash_cache: dict,
+    ) -> TaggedRelation:
+        key = tuple(row[self._steps[j].position] for j in range(step_index + 1))
+        if self.share:
+            cached = memo.get(key)
+            if cached is not None:
+                charge("subexpression_memo_hits")
+                return cached
+
+        step = self._steps[step_index]
+        choice = row[step.position]
+        if step_index == 0:
+            result = self._load_first_operand(step, choice, operands)
+        else:
+            acc = self._eval_prefix(step_index - 1, row, operands, memo, hash_cache)
+            result = self._join_step(acc, step, choice, operands, hash_cache)
+
+        if self.share:
+            memo[key] = result
+        return result
+
+    def _load_first_operand(
+        self,
+        step: _StepPlan,
+        choice: DeltaRowChoice,
+        operands: Sequence[Mapping[DeltaRowChoice, TaggedRelation]],
+    ) -> TaggedRelation:
+        source = operands[step.position][choice]
+        out = TaggedRelation(step.operand_schema)
+        prefilter = step.prefilter
+        for values, tag, count in source.items():
+            charge("tuples_scanned")
+            if prefilter is None or prefilter(values):
+                out.add(values, tag, count)
+        return out
+
+    def _join_step(
+        self,
+        acc: TaggedRelation,
+        step: _StepPlan,
+        choice: DeltaRowChoice,
+        operands: Sequence[Mapping[DeltaRowChoice, TaggedRelation]],
+        hash_cache: dict,
+    ) -> TaggedRelation:
+        out = TaggedRelation(step.acc_schema)
+        if acc.is_empty():
+            return out
+
+        probe = self._probe_for(step, choice, operands, hash_cache)
+        eq_links = step.eq_links
+        postfilter = step.postfilter
+        for acc_values, acc_tag, acc_count in acc.items():
+            charge("join_probes")
+            probe_key = tuple(acc_values[pos] + shift for pos, _, shift in eq_links)
+            for op_values, op_tag, op_count in probe(probe_key):
+                tag = combine_join_tags(acc_tag, op_tag)
+                if tag is Tag.IGNORE:
+                    charge("tuples_ignored")
+                    continue
+                row = acc_values + op_values
+                if postfilter is not None and not postfilter(row):
+                    continue
+                charge("tuples_emitted")
+                out.add(row, tag, acc_count * op_count)
+        return out
+
+    def _probe_for(
+        self,
+        step: _StepPlan,
+        choice: DeltaRowChoice,
+        operands: Sequence[Mapping[DeltaRowChoice, TaggedRelation]],
+        hash_cache: dict,
+    ) -> ProbeFn:
+        """A probe function over the operand, preferring a caller index.
+
+        The index fast path applies to OLD operands only (indexes track
+        base relations); DELTA operands are hashed directly — they are
+        small by assumption.
+        """
+        if (
+            choice is DeltaRowChoice.OLD
+            and self.index_probe is not None
+            and step.link_attr_names
+        ):
+            indexed = self.index_probe(step.position, step.link_attr_names)
+            if indexed is not None:
+                prefilter = step.prefilter
+                if prefilter is None:
+                    return indexed
+
+                def filtered(key: ValueTuple, _inner=indexed, _pred=prefilter):
+                    for values, tag, count in _inner(key):
+                        if _pred(values):
+                            yield values, tag, count
+
+                return filtered
+
+        cache_key = (step.position, choice)
+        table = hash_cache.get(cache_key)
+        if table is None:
+            table = {}
+            source = operands[step.position][choice]
+            key_positions = step.operand_key_positions
+            prefilter = step.prefilter
+            for values, tag, count in source.items():
+                charge("tuples_scanned")
+                if prefilter is not None and not prefilter(values):
+                    continue
+                key = tuple(values[i] for i in key_positions)
+                table.setdefault(key, []).append((values, tag, count))
+            hash_cache[cache_key] = table
+        return lambda key: table.get(key, ())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """A human-readable account of the evaluation plan.
+
+        Lists the truth-table rows to evaluate, the delta-first operand
+        order, and per step: the hash-join links (with ``x = y + c``
+        shifts), operand prefilters and post-join filters the pushdown
+        assigned — the textual form of what :meth:`evaluate_rows` will
+        execute.
+        """
+        from repro.core.truthtable import count_delta_rows, enumerate_delta_rows
+        from repro.core.truthtable import render_row
+
+        nf = self.normal_form
+        names = [occ.name for occ in nf.occurrences]
+        lines = [
+            f"view: {nf!r}",
+            f"changed occurrences: "
+            f"{[names[i] for i in self.changed] or '(none: full evaluation)'}",
+            f"rows to evaluate: {count_delta_rows(len(self.changed)) or 1}",
+        ]
+        for row in enumerate_delta_rows(len(nf.occurrences), self.changed):
+            lines.append(f"  {render_row(row, names)}")
+        lines.append(
+            "operand order (delta-first): "
+            + " -> ".join(names[i] for i in self.order)
+        )
+        for index, step in enumerate(self._steps):
+            occ = nf.occurrences[step.position]
+            parts = [f"step {index}: {occ.name}"]
+            if step.eq_links:
+                links = ", ".join(
+                    f"{name} = acc[{pos}]{f' + {shift}' if shift else ''}"
+                    for pos, name, shift in step.eq_links
+                )
+                parts.append(f"hash-join on [{links}]")
+            elif index:
+                parts.append("cross join (no equality link)")
+            if step.prefilter is not None:
+                parts.append("prefiltered")
+            if step.postfilter is not None:
+                parts.append("post-filtered")
+            lines.append("  " + "; ".join(parts))
+        if self._final_filter is not None:
+            lines.append("final pass: full DNF condition re-check")
+        lines.append(
+            "projection: " + ", ".join(out for out, _ in nf.projection)
+        )
+        lines.append(
+            f"subexpression sharing: {'on' if self.share else 'off'}; "
+            f"index probes: {'available' if self.index_probe else 'none'}"
+        )
+        return "\n".join(lines)
+
+    def _project_into(self, result: TaggedRelation, merged: TaggedRelation) -> None:
+        """Apply the final filter and projection; accumulate into merged."""
+        final_filter = self._final_filter
+        positions = self._projection_positions
+        for values, tag, count in result.items():
+            if final_filter is not None and not final_filter(values):
+                continue
+            merged.add(tuple(values[i] for i in positions), tag, count)
+
+
+def evaluate_normal_form(
+    normal_form: NormalForm,
+    instances: Mapping[str, "object"],
+) -> "object":
+    """Full (non-differential) evaluation via the pipelined planner.
+
+    Treats every operand as OLD and evaluates the single all-old row,
+    so the complete re-evaluation baseline enjoys the same hash joins
+    and selection pushdown the differential path gets — the benchmark
+    comparisons stay apples-to-apples.  Returns a counted
+    :class:`~repro.algebra.relation.Relation` over the view's output
+    schema.
+
+    The naive tree evaluator (:func:`repro.algebra.evaluate.evaluate`)
+    is retained as an *independent* oracle; the test suite cross-checks
+    the two on random inputs.
+    """
+    from repro.algebra.relation import Relation
+
+    planner = RowPlanner(normal_form, changed_positions=())
+    operands = []
+    for occurrence in normal_form.occurrences:
+        relation = instances[occurrence.name]
+        occ_schema = normal_form.qualified_schema.project_schema(
+            occurrence.qualified_names()
+        )
+        tagged = TaggedRelation(occ_schema)
+        for values, count in relation.items():  # type: ignore[attr-defined]
+            tagged.add(values, Tag.OLD, count)
+        operands.append({DeltaRowChoice.OLD: tagged})
+    all_old = tuple([DeltaRowChoice.OLD] * len(normal_form.occurrences))
+    merged = planner.evaluate_rows([all_old], operands)
+
+    out = Relation(normal_form.output_schema())
+    counts = out._counts
+    for values, tag, count in merged.items():
+        assert tag is Tag.OLD
+        counts[values] = counts.get(values, 0) + count
+    return out

@@ -1,0 +1,137 @@
+"""Satisfiability of selection conditions (Section 4).
+
+Deciding satisfiability of arbitrary Boolean expressions is
+NP-complete, but the paper's condition class — conjunctions of atoms
+``x op y``, ``x op c``, ``x op y + c`` over discrete domains with
+``op ∈ {=, <, >, ≤, ≥}`` — is decidable in O(n³) per conjunction by
+Rosenkrantz and Hunt's reduction [RH80]:
+
+1. normalize every atom to ``≤``/``≥`` form (:mod:`repro.core.normalize`);
+2. build a directed weighted constraint graph (:mod:`repro.core.graph`);
+3. the conjunction is unsatisfiable iff the graph has a negative cycle.
+
+Disjunctions ``C = C₁ ∨ … ∨ C_m`` are satisfiable iff some ``C_i`` is,
+giving O(m·n³) total — exactly the paper's bound.
+
+Besides the decision procedure this module exposes *solvers*
+(:func:`solve_conjunction`, :func:`solve_condition`) that return a
+witness assignment when one exists; the witness machinery is what the
+Theorem 4.1 completeness construction and the property-based tests are
+built on.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.conditions import Condition, Conjunction
+from repro.core.graph import ConstraintGraph
+from repro.core.normalize import normalize_conjunction
+from repro.instrumentation import charge
+
+
+def is_satisfiable_conjunction(
+    conjunction: Conjunction, method: str = "bellman"
+) -> bool:
+    """Decide satisfiability of one conjunction over the integers.
+
+    ``method`` selects the negative-cycle algorithm: ``"floyd"`` (the
+    paper's prescription) or ``"bellman"`` (default).
+
+    >>> from repro.algebra.conditions import parse_condition
+    >>> c = parse_condition("9 < 10 and C > 5 and 10 = C")
+    >>> is_satisfiable_conjunction(c.disjuncts[0])
+    True
+    >>> c = parse_condition("11 < 10 and C > 5 and 10 = C")
+    >>> is_satisfiable_conjunction(c.disjuncts[0])
+    False
+    """
+    charge("sat_checks")
+    normalized = normalize_conjunction(conjunction)
+    if normalized.trivially_false:
+        return False
+    if not normalized.atoms:
+        return True
+    graph = ConstraintGraph.from_atoms(normalized.atoms)
+    return not graph.has_negative_cycle(method=method)
+
+
+def is_satisfiable(condition: Condition, method: str = "bellman") -> bool:
+    """Decide satisfiability of a DNF condition (O(m·n³)).
+
+    A disjunction is satisfiable iff at least one disjunct is; it is
+    unsatisfiable iff every disjunct is — the paper's Section 4 rule.
+    """
+    return any(
+        is_satisfiable_conjunction(d, method=method) for d in condition.disjuncts
+    )
+
+
+def solve_conjunction(conjunction: Conjunction) -> dict[str, int] | None:
+    """A satisfying integer assignment for a conjunction, or ``None``.
+
+    The assignment covers every variable the conjunction mentions.
+    Used by the witness construction of Theorem 4.1's "only if"
+    direction and as the test suite's constructive oracle.
+
+    >>> from repro.algebra.conditions import parse_condition
+    >>> sol = solve_conjunction(parse_condition("x <= y - 1 and y <= 4").disjuncts[0])
+    >>> sol is not None and sol["x"] < sol["y"] <= 4
+    True
+    """
+    normalized = normalize_conjunction(conjunction)
+    if normalized.trivially_false:
+        return None
+    graph = ConstraintGraph.from_atoms(
+        normalized.atoms, nodes=conjunction.variables()
+    )
+    solution = graph.solve()
+    if solution is None:
+        return None
+    # Isolated variables (mentioned only in ground atoms that evaluated
+    # true, or not constrained at all) default to 0 via graph nodes.
+    for name in conjunction.variables():
+        solution.setdefault(name, 0)
+    assert conjunction.evaluate(solution), (
+        f"internal error: solver produced non-solution {solution} "
+        f"for {conjunction}"
+    )
+    return solution
+
+
+def solve_condition(condition: Condition) -> dict[str, int] | None:
+    """A satisfying assignment for a DNF condition, or ``None``.
+
+    The assignment is taken from the first satisfiable disjunct and is
+    extended with zeros for variables that disjunct does not mention,
+    so it always covers ``condition.variables()``.
+    """
+    for disjunct in condition.disjuncts:
+        solution = solve_conjunction(disjunct)
+        if solution is not None:
+            for name in condition.variables():
+                solution.setdefault(name, 0)
+            return solution
+    return None
+
+
+def brute_force_satisfiable(
+    conjunction: Conjunction, lo: int, hi: int
+) -> bool:
+    """Exhaustive satisfiability over the finite box ``[lo, hi]^n``.
+
+    A deliberately slow oracle used by the test suite to validate the
+    graph-based decision procedure on small instances.  Note the subtle
+    difference in scope: the graph test answers satisfiability over the
+    *unbounded* integers, so the oracle comparison must pick ``lo``/
+    ``hi`` wide enough to contain some solution when one exists (the
+    tests derive safe bounds from the atom constants).
+    """
+    from itertools import product
+
+    variables = sorted(conjunction.variables())
+    if not variables:
+        normalized = normalize_conjunction(conjunction)
+        return not normalized.trivially_false
+    for values in product(range(lo, hi + 1), repeat=len(variables)):
+        if conjunction.evaluate(dict(zip(variables, values))):
+            return True
+    return False

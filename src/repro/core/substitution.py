@@ -1,0 +1,172 @@
+"""Substitution and formula classification (Definitions 4.1–4.3).
+
+Given a view ``v = π_X(σ_C(Y)(r₁ × … × r_p))`` and a tuple ``t``
+inserted into or deleted from ``r_i``:
+
+* ``Y₁ = R_i ∩ Y`` is the set of condition variables the tuple binds;
+* ``C(t, Y₂)`` — the *substitution of t for Y₁ in C* (Definition 4.1) —
+  replaces each occurrence of a variable ``A ∈ Y₁`` by the constant
+  ``t(A)``;
+* Definition 4.2 then classifies each atomic formula of the substituted
+  conjunction:
+
+  - **variant evaluable** — all of the atom's variables were
+    substituted; the atom is now ground (``c op d``) and simply true or
+    false;
+  - **variant non-evaluable** — exactly one variable was substituted;
+    the atom became a single-variable bound (``z op c``);
+  - **invariant** — the atom mentions no substituted variable and is
+    untouched.
+
+The classification is what lets Algorithm 4.1 build the invariant part
+of the constraint graph once per batch of tuples and redo only the
+variant part per tuple.
+
+Definition 4.3 extends substitution to simultaneous tuples from several
+relations; :func:`binding_for` builds the combined variable binding in
+both cases.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping, Sequence
+
+from repro.algebra.conditions import Atom, Condition, Conjunction
+from repro.algebra.expressions import Occurrence
+from repro.algebra.schema import RelationSchema
+from repro.errors import ConditionError
+
+ValueTuple = tuple[int, ...]
+
+
+class FormulaKind(enum.Enum):
+    """Definition 4.2's three classes of atomic formulae."""
+
+    INVARIANT = "invariant"
+    VARIANT_EVALUABLE = "variant-evaluable"
+    VARIANT_NON_EVALUABLE = "variant-non-evaluable"
+
+
+def classify_atom(atom: Atom, substituted: frozenset[str] | set[str]) -> FormulaKind:
+    """Classify one atom with respect to a set of substituted variables.
+
+    ``substituted`` is Y₁ — the variables that a tuple substitution
+    binds.  Atoms that are already ground before substitution count as
+    variant evaluable only if they mention a substituted variable —
+    a pre-existing ground atom cannot occur in a well-formed condition
+    (the parser folds it), but defensive handling keeps the function
+    total: ground atoms with no substituted variables are classified
+    invariant.
+
+    >>> classify_atom(Atom("A", "<", 10), {"A"})
+    <FormulaKind.VARIANT_EVALUABLE: 'variant-evaluable'>
+    >>> classify_atom(Atom("B", "=", "C"), {"B"})
+    <FormulaKind.VARIANT_NON_EVALUABLE: 'variant-non-evaluable'>
+    >>> classify_atom(Atom("C", ">", 5), {"A", "B"})
+    <FormulaKind.INVARIANT: 'invariant'>
+    """
+    variables = atom.variables()
+    touched = variables & set(substituted)
+    if not touched:
+        return FormulaKind.INVARIANT
+    if touched == variables:
+        return FormulaKind.VARIANT_EVALUABLE
+    return FormulaKind.VARIANT_NON_EVALUABLE
+
+
+class SplitConjunction:
+    """One conjunction split into the three classes of Definition 4.2."""
+
+    __slots__ = ("invariant", "variant_evaluable", "variant_non_evaluable")
+
+    def __init__(
+        self,
+        invariant: Sequence[Atom],
+        variant_evaluable: Sequence[Atom],
+        variant_non_evaluable: Sequence[Atom],
+    ) -> None:
+        self.invariant = tuple(invariant)
+        self.variant_evaluable = tuple(variant_evaluable)
+        self.variant_non_evaluable = tuple(variant_non_evaluable)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SplitConjunction inv={len(self.invariant)} "
+            f"ve={len(self.variant_evaluable)} "
+            f"vne={len(self.variant_non_evaluable)}>"
+        )
+
+
+def split_conjunction(
+    conjunction: Conjunction, substituted: frozenset[str] | set[str]
+) -> SplitConjunction:
+    """Partition a conjunction's atoms per Definition 4.2.
+
+    The atoms are returned *unsubstituted*; callers substitute per
+    tuple.  ``C_N`` in Algorithm 4.1 is then
+    ``C_INV ∧ C_VEVAL ∧ C_VNEVAL`` where the pieces correspond to the
+    three sequences here.
+    """
+    invariant: list[Atom] = []
+    evaluable: list[Atom] = []
+    non_evaluable: list[Atom] = []
+    for atom in conjunction.atoms:
+        kind = classify_atom(atom, substituted)
+        if kind is FormulaKind.INVARIANT:
+            invariant.append(atom)
+        elif kind is FormulaKind.VARIANT_EVALUABLE:
+            evaluable.append(atom)
+        else:
+            non_evaluable.append(atom)
+    return SplitConjunction(invariant, evaluable, non_evaluable)
+
+
+def binding_for(
+    occurrence: Occurrence, schema: RelationSchema, values: ValueTuple
+) -> dict[str, int]:
+    """The variable binding a tuple induces on one occurrence.
+
+    Maps each *qualified* attribute name of the occurrence to the
+    tuple's encoded value, which is what
+    :meth:`repro.algebra.conditions.Condition.substitute` consumes.
+    """
+    if len(values) != len(schema):
+        raise ConditionError(
+            f"tuple arity {len(values)} does not match schema {schema.names}"
+        )
+    return {
+        occurrence.rename[name]: values[i] for i, name in enumerate(schema.names)
+    }
+
+
+def combined_binding(
+    bindings: Sequence[Mapping[str, int]],
+) -> dict[str, int]:
+    """Merge several occurrence bindings (Definition 4.3).
+
+    Definition 4.3 requires the relation schemes to be disjoint; in the
+    qualified namespace of a normal form that is guaranteed for
+    distinct occurrences, so a key collision indicates caller error.
+    """
+    merged: dict[str, int] = {}
+    for binding in bindings:
+        overlap = merged.keys() & binding.keys()
+        if overlap:
+            raise ConditionError(
+                f"bindings overlap on {sorted(overlap)}; Definition 4.3 "
+                "requires disjoint relation schemes"
+            )
+        merged.update(binding)
+    return merged
+
+
+def substitute_condition(
+    condition: Condition, binding: Mapping[str, int]
+) -> Condition:
+    """``C(t, Y₂)`` / ``C(t₁, …, t_k, Y₂)`` — Definitions 4.1 and 4.3.
+
+    A thin alias over :meth:`Condition.substitute`, exported so that
+    callers reading alongside the paper find the definition by name.
+    """
+    return condition.substitute(binding)

@@ -1,0 +1,101 @@
+"""View definitions and materializations (Section 3 vocabulary).
+
+A *view definition* V is a relational-algebra expression over the
+database scheme; a *view materialization* v is a stored relation
+resulting from evaluating that expression against a database instance.
+:class:`ViewDefinition` carries the expression plus its paper normal
+form; :class:`MaterializedView` pairs a definition with the stored
+counted relation and the bookkeeping the maintainer needs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.algebra.expressions import Expression, NormalForm, to_normal_form
+from repro.algebra.relation import Delta, Relation
+from repro.algebra.schema import RelationSchema
+from repro.errors import ViewDefinitionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.database import Database
+
+
+class ViewDefinition:
+    """A named SPJ view definition, validated against a schema catalog."""
+
+    __slots__ = ("name", "expression", "normal_form")
+
+    def __init__(
+        self,
+        name: str,
+        expression: Expression,
+        catalog: Mapping[str, RelationSchema],
+    ) -> None:
+        if not name or not isinstance(name, str):
+            raise ViewDefinitionError(f"view name must be a non-empty string: {name!r}")
+        self.name = name
+        self.expression = expression
+        # to_normal_form validates SPJ membership and well-formedness.
+        self.normal_form: NormalForm = to_normal_form(expression, catalog)
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        """Base relations the view depends on."""
+        return frozenset(self.normal_form.relation_names)
+
+    def output_schema(self) -> RelationSchema:
+        """Schema of the view's tuples."""
+        return self.normal_form.output_schema()
+
+    def __repr__(self) -> str:
+        return f"<ViewDefinition {self.name!r}: {self.expression}>"
+
+
+class MaterializedView:
+    """A stored view materialization plus maintenance statistics.
+
+    The stored relation carries the Section 5.2 multiplicity counter on
+    every tuple.  ``contents`` exposes it read-only by convention —
+    mutate only through the maintainer.
+    """
+
+    __slots__ = ("definition", "contents", "updates_applied", "last_refresh_sequence")
+
+    def __init__(self, definition: ViewDefinition, contents: Relation) -> None:
+        self.definition = definition
+        self.contents = contents
+        #: Number of non-empty deltas applied since materialization.
+        self.updates_applied = 0
+        #: Log sequence the view is current as of (deferred maintenance).
+        self.last_refresh_sequence = 0
+
+    @classmethod
+    def materialize(
+        cls, definition: ViewDefinition, instances: Mapping[str, Relation]
+    ) -> "MaterializedView":
+        """Evaluate the definition from scratch and store the result.
+
+        Uses the pipelined normal-form evaluator (hash joins, selection
+        pushdown); the naive tree evaluator stays available as an
+        independent oracle via :func:`repro.algebra.evaluate.evaluate`.
+        """
+        from repro.core.planner import evaluate_normal_form
+
+        contents = evaluate_normal_form(definition.normal_form, instances)
+        return cls(definition, contents)
+
+    def apply_delta(self, delta: Delta) -> None:
+        """Apply a computed view delta to the stored contents."""
+        if not delta.is_empty():
+            delta.apply_to(self.contents)
+            self.updates_applied += 1
+
+    def __len__(self) -> int:
+        return len(self.contents)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MaterializedView {self.definition.name!r} "
+            f"{len(self.contents)} tuples, {self.updates_applied} updates>"
+        )

@@ -1,0 +1,194 @@
+"""The database: named base relations plus the commit pipeline.
+
+A :class:`Database` owns:
+
+* the base relations (plain set-semantics relations — every tuple has
+  multiplicity one, as the paper notes for base relations in §5.2);
+* the transaction factory (:meth:`begin` / :meth:`transact`);
+* the :class:`~repro.engine.log.UpdateLog`;
+* the :class:`~repro.engine.indexes.IndexManager`;
+* an ordered list of *commit hooks* — callables receiving
+  ``(txn_id, {relation: Delta})`` — through which view maintainers and
+  snapshot queues observe committed net effects.  Hooks run inside the
+  commit, after base relations and indexes have been updated, matching
+  the paper's assumption that base relations are updated before views
+  and that complete affected tuples are available at view-update time.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.algebra.relation import Delta, Relation
+from repro.algebra.schema import RelationSchema
+from repro.algebra.tuples import Row
+from repro.engine.indexes import IndexManager
+from repro.engine.log import UpdateLog
+from repro.engine.transactions import Transaction
+from repro.errors import SchemaError, UnknownRelationError
+
+CommitHook = Callable[[int, Mapping[str, Delta]], None]
+
+
+class Database:
+    """An in-memory relational database with commit-time maintenance."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+        self._next_txn_id = 1
+        self.log = UpdateLog()
+        self.indexes = IndexManager()
+        self._commit_hooks: list[CommitHook] = []
+
+    # ------------------------------------------------------------------
+    # Schema management
+    # ------------------------------------------------------------------
+    def create_relation(
+        self,
+        name: str,
+        schema: RelationSchema | Sequence[str],
+        rows: Iterable[object] = (),
+    ) -> Relation:
+        """Create a base relation, optionally loading initial rows.
+
+        Initial rows bypass the transaction machinery: they define the
+        starting state, not an update to be maintained against.
+        """
+        if name in self._relations:
+            raise SchemaError(f"relation {name!r} already exists")
+        if not isinstance(schema, RelationSchema):
+            schema = RelationSchema(schema)
+        relation = Relation(schema)
+        for row in rows:
+            if row in relation:
+                raise SchemaError(f"duplicate initial row {row!r} in {name!r}")
+            relation.add(row)
+        self._relations[name] = relation
+        return relation
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a base relation and its indexes."""
+        if name not in self._relations:
+            raise UnknownRelationError(f"unknown relation {name!r}")
+        del self._relations[name]
+        for index in self.indexes.indexes_on(name):
+            self.indexes.drop_index(name, index.attributes)
+
+    def relation(self, name: str) -> Relation:
+        """The live base relation named ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(f"unknown relation {name!r}") from None
+
+    def relation_names(self) -> tuple[str, ...]:
+        """All base-relation names, sorted."""
+        return tuple(sorted(self._relations))
+
+    def schema_catalog(self) -> dict[str, RelationSchema]:
+        """Mapping of relation name to schema (for expression analysis)."""
+        return {name: rel.schema for name, rel in self._relations.items()}
+
+    def instances(self) -> dict[str, Relation]:
+        """Mapping of relation name to live contents (for evaluation)."""
+        return dict(self._relations)
+
+    def create_index(self, relation_name: str, attributes: Sequence[str]):
+        """Declare a hash index over a base relation."""
+        return self.indexes.create_index(
+            self.relation(relation_name), relation_name, attributes
+        )
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def begin(self) -> Transaction:
+        """Start a new transaction."""
+        txn = Transaction(self, self._next_txn_id)
+        self._next_txn_id += 1
+        return txn
+
+    @contextmanager
+    def transact(self) -> Iterator[Transaction]:
+        """Context manager: commit on success, abort on exception.
+
+        >>> db = Database()
+        >>> _ = db.create_relation("r", ["A", "B"])
+        >>> with db.transact() as txn:
+        ...     txn.insert("r", (1, 2))
+        >>> (1, 2) in db.relation("r")
+        True
+        """
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            if txn.state.value == "active":
+                txn.abort()
+            raise
+        if txn.state.value == "active":
+            txn.commit()
+
+    def apply(self, inserts: Mapping[str, Iterable[object]] | None = None,
+              deletes: Mapping[str, Iterable[object]] | None = None) -> dict[str, Delta]:
+        """One-shot transaction helper: insert/delete batches and commit."""
+        with self.transact() as txn:
+            for name, rows in (deletes or {}).items():
+                txn.delete_many(name, rows)
+            for name, rows in (inserts or {}).items():
+                txn.insert_many(name, rows)
+            deltas = txn.commit()
+        return deltas
+
+    # ------------------------------------------------------------------
+    # Commit pipeline
+    # ------------------------------------------------------------------
+    def add_commit_hook(self, hook: CommitHook) -> None:
+        """Register a commit observer (view maintainer, snapshot queue…).
+
+        Hooks run in registration order, inside the commit, after base
+        relations, indexes and the log have been updated.
+        """
+        self._commit_hooks.append(hook)
+
+    def remove_commit_hook(self, hook: CommitHook) -> None:
+        """Unregister a previously added hook (no-op when absent)."""
+        try:
+            self._commit_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def _apply_commit(self, txn: Transaction, deltas: Mapping[str, Delta]) -> None:
+        """Apply a transaction's net effect (called by Transaction.commit)."""
+        for name, delta in deltas.items():
+            relation = self._relations[name]
+            for values in delta.deleted:
+                relation.discard(Row(relation.schema, values))
+            for values in delta.inserted:
+                relation.add(Row(relation.schema, values))
+        self.indexes.apply_deltas(deltas)
+        if deltas:
+            self.log.append(txn.txn_id, deltas)
+        for hook in self._commit_hooks:
+            hook(txn.txn_id, deltas)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def clone_data(self) -> "Database":
+        """A structural copy of schemas and contents (no hooks, no log).
+
+        Used by consistency checks and tests that need an isolated
+        replica to replay or recompute against.
+        """
+        other = Database()
+        for name, relation in self._relations.items():
+            other._relations[name] = relation.copy()
+        return other
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}({len(rel)})" for name, rel in sorted(self._relations.items())
+        )
+        return f"<Database {parts or 'empty'}>"

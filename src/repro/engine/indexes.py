@@ -1,0 +1,137 @@
+"""Hash indexes over base relations.
+
+The paper's differential algorithm repeatedly joins small delta
+relations against large, mostly-static base relations ("old" operands).
+That access pattern — probe a base relation by the values of a few join
+attributes — is precisely what a hash index serves.  The
+:class:`IndexManager` keeps declared indexes synchronized with base
+relations across commits by consuming the same net-effect deltas the
+view maintainer does, and the differential planner uses an index when
+one covers the join attributes of an "old" base operand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.algebra.relation import Delta, Relation
+from repro.errors import SchemaError
+from repro.instrumentation import charge
+
+ValueTuple = tuple[int, ...]
+
+
+class HashIndex:
+    """A hash index mapping key values to the rows that carry them.
+
+    ``attributes`` names the indexed attributes, in key order.  Rows are
+    stored as full encoded value tuples; a key maps to the set of rows
+    sharing it.
+    """
+
+    __slots__ = ("relation_name", "attributes", "_positions", "_buckets")
+
+    def __init__(self, relation: Relation, relation_name: str,
+                 attributes: Sequence[str]) -> None:
+        if not attributes:
+            raise SchemaError("an index needs at least one attribute")
+        self.relation_name = relation_name
+        self.attributes = tuple(attributes)
+        self._positions = relation.schema.positions(self.attributes)
+        self._buckets: dict[ValueTuple, set[ValueTuple]] = {}
+        for values in relation.value_tuples():
+            self._insert(values)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _key_of(self, values: ValueTuple) -> ValueTuple:
+        return tuple(values[i] for i in self._positions)
+
+    def _insert(self, values: ValueTuple) -> None:
+        self._buckets.setdefault(self._key_of(values), set()).add(values)
+
+    def _remove(self, values: ValueTuple) -> None:
+        key = self._key_of(values)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        bucket.discard(values)
+        if not bucket:
+            del self._buckets[key]
+
+    def apply_delta(self, delta: Delta) -> None:
+        """Keep the index in step with a committed net-effect delta."""
+        for values in delta.deleted:
+            self._remove(values)
+        for values in delta.inserted:
+            self._insert(values)
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def probe(self, key: ValueTuple) -> frozenset[ValueTuple]:
+        """All rows whose indexed attributes equal ``key``."""
+        charge("index_probes")
+        return frozenset(self._buckets.get(tuple(key), ()))
+
+    def probe_many(self, keys: Iterable[ValueTuple]) -> Iterator[ValueTuple]:
+        """Rows matching any of ``keys`` (deduplicated per key)."""
+        for key in keys:
+            yield from self.probe(key)
+
+    def __len__(self) -> int:
+        """Number of distinct keys."""
+        return len(self._buckets)
+
+    def __repr__(self) -> str:
+        return (
+            f"<HashIndex {self.relation_name}({', '.join(self.attributes)}) "
+            f"{len(self._buckets)} keys>"
+        )
+
+
+class IndexManager:
+    """All indexes of one database, kept consistent across commits."""
+
+    def __init__(self) -> None:
+        self._indexes: dict[tuple[str, tuple[str, ...]], HashIndex] = {}
+
+    def create_index(self, relation: Relation, relation_name: str,
+                     attributes: Sequence[str]) -> HashIndex:
+        """Create (or return the existing) index on the given attributes."""
+        key = (relation_name, tuple(attributes))
+        existing = self._indexes.get(key)
+        if existing is not None:
+            return existing
+        index = HashIndex(relation, relation_name, attributes)
+        self._indexes[key] = index
+        return index
+
+    def drop_index(self, relation_name: str, attributes: Sequence[str]) -> bool:
+        """Remove an index; returns True when one existed."""
+        return self._indexes.pop((relation_name, tuple(attributes)), None) is not None
+
+    def lookup(self, relation_name: str,
+               attributes: Sequence[str]) -> HashIndex | None:
+        """The index on exactly these attributes, if declared."""
+        return self._indexes.get((relation_name, tuple(attributes)))
+
+    def indexes_on(self, relation_name: str) -> tuple[HashIndex, ...]:
+        """Every index declared over ``relation_name``."""
+        return tuple(
+            idx for (name, _), idx in self._indexes.items() if name == relation_name
+        )
+
+    def apply_deltas(self, deltas: Mapping[str, Delta]) -> None:
+        """Propagate a commit's net deltas into all affected indexes."""
+        for (name, _), index in self._indexes.items():
+            delta = deltas.get(name)
+            if delta is not None:
+                index.apply_delta(delta)
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __repr__(self) -> str:
+        return f"<IndexManager {len(self._indexes)} indexes>"

@@ -1,0 +1,123 @@
+"""The update log.
+
+Section 5 assumes that when the view-update mechanism runs, "the set of
+tuples actually inserted into or deleted from each base relation" is
+available.  :class:`UpdateLog` is the component that makes this true
+beyond the immediate commit: it records the net-effect deltas of every
+committed transaction, in commit order, so that
+
+* deferred (snapshot) maintenance can compose the deltas accumulated
+  since a view's last refresh (see :mod:`repro.engine.snapshots`),
+* tests can replay history against a fresh database and verify that the
+  net-effect representation is faithful, and
+* tooling can inspect what happened.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+from repro.algebra.relation import Delta
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.database import Database
+
+
+class LogRecord:
+    """One committed transaction: its id and per-relation net deltas."""
+
+    __slots__ = ("txn_id", "deltas", "sequence")
+
+    def __init__(self, txn_id: int, sequence: int, deltas: Mapping[str, Delta]) -> None:
+        self.txn_id = txn_id
+        self.sequence = sequence
+        self.deltas = dict(deltas)
+
+    def touched_relations(self) -> tuple[str, ...]:
+        """Relations this transaction had a net effect on."""
+        return tuple(sorted(self.deltas))
+
+    def __repr__(self) -> str:
+        return f"<LogRecord seq={self.sequence} txn={self.txn_id} {self.touched_relations()}>"
+
+
+class UpdateLog:
+    """An append-only, in-memory log of committed transactions."""
+
+    def __init__(self) -> None:
+        self._records: list[LogRecord] = []
+        self._next_sequence = 1
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, txn_id: int, deltas: Mapping[str, Delta]) -> LogRecord:
+        """Record a committed transaction; returns the new record."""
+        record = LogRecord(txn_id, self._next_sequence, deltas)
+        self._next_sequence += 1
+        self._records.append(record)
+        return record
+
+    def truncate_before(self, sequence: int) -> int:
+        """Drop records with ``sequence <`` the given value.
+
+        Returns the number of records dropped.  Called after all
+        deferred consumers have caught up past ``sequence``.
+        """
+        kept = [r for r in self._records if r.sequence >= sequence]
+        dropped = len(self._records) - len(kept)
+        self._records = kept
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def records_since(self, sequence: int) -> Iterator[LogRecord]:
+        """Records with ``sequence >`` the given value, in order."""
+        for record in self._records:
+            if record.sequence > sequence:
+                yield record
+
+    def last_sequence(self) -> int:
+        """Sequence number of the newest record (0 when empty)."""
+        return self._records[-1].sequence if self._records else 0
+
+    def composed_delta(self, relation_name: str, since_sequence: int = 0) -> Delta | None:
+        """Net delta for one relation across all records after a point.
+
+        Composition cancels insert/delete pairs across transactions,
+        mirroring within-transaction net-effect cancellation.  Returns
+        ``None`` when no record touched the relation.
+        """
+        combined: Delta | None = None
+        for record in self.records_since(since_sequence):
+            delta = record.deltas.get(relation_name)
+            if delta is None:
+                continue
+            combined = delta if combined is None else combined.compose(delta)
+        return combined
+
+    def replay(self, database: "Database") -> None:
+        """Re-apply every logged delta against ``database`` in order.
+
+        Used by tests to check that the log is a faithful record: a
+        fresh copy of the initial state replayed through the log must
+        equal the live database.
+        """
+        for record in self._records:
+            with database.transact() as txn:
+                for name, delta in record.deltas.items():
+                    schema = database.relation(name).schema
+                    for values in delta.deleted:
+                        txn.delete(name, values)
+                    for values in delta.inserted:
+                        txn.insert(name, values)
+
+    def __repr__(self) -> str:
+        return f"<UpdateLog {len(self._records)} records>"

@@ -1,0 +1,153 @@
+"""Saving and loading databases as JSON documents.
+
+The paper's system is in-memory by assumption, but a reproduction a
+downstream user can adopt needs its states to be portable: benchmark
+inputs, failing cases from property tests and example databases all
+want to round-trip through files.  The format is a single JSON document
+holding every relation's schema (attribute names and domains) and its
+tuple counts; views are not persisted — they are derived state and are
+re-materialized from their definitions after a load.
+
+Domains serialize by kind: the unbounded integer domain, finite integer
+intervals, and enumerated string domains (labels stored verbatim).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+from repro.algebra.domains import (
+    Domain,
+    FiniteDomain,
+    IntegerDomain,
+    StringDomain,
+)
+from repro.algebra.schema import Attribute, RelationSchema
+from repro.engine.database import Database
+from repro.errors import ReproError
+
+#: Bumped on any incompatible format change.
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """A document could not be encoded or decoded."""
+
+
+# ----------------------------------------------------------------------
+# Domain codecs
+# ----------------------------------------------------------------------
+
+def _encode_domain(domain: Domain) -> dict[str, Any]:
+    if isinstance(domain, IntegerDomain):
+        return {"kind": "integer"}
+    if isinstance(domain, FiniteDomain):
+        return {"kind": "finite", "lo": domain.lo, "hi": domain.hi}
+    if isinstance(domain, StringDomain):
+        return {"kind": "string", "labels": list(domain.labels)}
+    raise PersistenceError(f"cannot serialize domain {domain!r}")
+
+
+def _decode_domain(doc: dict[str, Any]) -> Domain:
+    kind = doc.get("kind")
+    if kind == "integer":
+        return IntegerDomain()
+    if kind == "finite":
+        return FiniteDomain(doc["lo"], doc["hi"])
+    if kind == "string":
+        return StringDomain(doc["labels"])
+    raise PersistenceError(f"unknown domain kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Database codecs
+# ----------------------------------------------------------------------
+
+def database_to_document(database: Database) -> dict[str, Any]:
+    """Encode a database's schemas and contents as a JSON-able dict."""
+    relations = {}
+    for name in database.relation_names():
+        relation = database.relation(name)
+        # JSON has no tuple keys: store rows and counts as two aligned
+        # lists, sorted for deterministic output.  Rows are stored in
+        # *decoded* form (labels, not codes) so documents stay readable
+        # and survive domain re-encoding on load.
+        items = sorted(relation.items())
+        relations[name] = {
+            "attributes": [
+                {"name": attr.name, "domain": _encode_domain(attr.domain)}
+                for attr in relation.schema.attributes
+            ],
+            "rows": [
+                list(relation.schema.decode_values(values))
+                for values, _ in items
+            ],
+            "counts": [count for _, count in items],
+        }
+    return {"format": FORMAT_VERSION, "relations": relations}
+
+
+def database_from_document(doc: dict[str, Any]) -> Database:
+    """Decode a document produced by :func:`database_to_document`."""
+    if doc.get("format") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported format version {doc.get('format')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    database = Database()
+    relations = doc.get("relations")
+    if not isinstance(relations, dict):
+        raise PersistenceError("document has no 'relations' mapping")
+    for name, rel_doc in relations.items():
+        try:
+            attributes = [
+                Attribute(a["name"], _decode_domain(a["domain"]))
+                for a in rel_doc["attributes"]
+            ]
+            rows = rel_doc["rows"]
+            counts = rel_doc["counts"]
+        except (KeyError, TypeError) as exc:
+            raise PersistenceError(
+                f"relation {name!r} is malformed: {exc}"
+            ) from exc
+        if len(rows) != len(counts):
+            raise PersistenceError(
+                f"relation {name!r}: {len(rows)} rows but {len(counts)} counts"
+            )
+        schema = RelationSchema(attributes)
+        relation = database.create_relation(name, schema)
+        for values, count in zip(rows, counts):
+            if count != 1:
+                raise PersistenceError(
+                    f"relation {name!r}: base relations are sets; "
+                    f"count {count} for {values}"
+                )
+            relation.add(tuple(values))
+    return database
+
+
+def save_database(database: Database, stream: IO[str]) -> None:
+    """Write a database to an open text stream as JSON."""
+    json.dump(database_to_document(database), stream, indent=1, sort_keys=True)
+
+
+def load_database(stream: IO[str]) -> Database:
+    """Read a database from an open text stream."""
+    try:
+        doc = json.load(stream)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"invalid JSON: {exc}") from exc
+    return database_from_document(doc)
+
+
+def save_database_file(database: Database, path: str) -> None:
+    """Write a database to ``path``."""
+    with open(path, "w", encoding="utf-8") as stream:
+        save_database(database, stream)
+
+
+def load_database_file(path: str) -> Database:
+    """Read a database from ``path``."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return load_database(stream)

@@ -1,0 +1,88 @@
+"""Deferred maintenance: snapshots.
+
+The paper's conclusions observe that views need not be refreshed on
+every transaction: "it is also possible to envision a mechanism in
+which materialized views are updated periodically or only on demand.
+Such materialized views are known as *snapshots* [AL80] and their
+maintenance mechanism as *snapshot refresh*.  The approach proposed in
+this paper also applies to this environment."
+
+:class:`SnapshotQueue` implements that environment.  It subscribes to a
+database's commit stream and, per relation, *composes* the net-effect
+deltas of successive transactions (cancelling insert/delete pairs
+across transactions, the natural lifting of the paper's
+within-transaction net-effect rule).  When :meth:`drain` is called —
+periodically or on demand — the composed deltas are handed to the
+caller (typically a deferred view maintainer) exactly as if one big
+transaction had produced them, so the same differential algorithm
+applies unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.algebra.relation import Delta
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.database import Database
+
+
+class SnapshotQueue:
+    """Accumulates composed per-relation deltas between refreshes."""
+
+    def __init__(self, database: "Database") -> None:
+        self._database = database
+        self._pending: dict[str, Delta] = {}
+        self._transactions_seen = 0
+        database.add_commit_hook(self._on_commit)
+
+    # ------------------------------------------------------------------
+    # Commit-side
+    # ------------------------------------------------------------------
+    def _on_commit(self, txn_id: int, deltas: Mapping[str, Delta]) -> None:
+        if deltas:
+            self._transactions_seen += 1
+        for name, delta in deltas.items():
+            pending = self._pending.get(name)
+            composed = delta if pending is None else pending.compose(delta)
+            if composed.is_empty():
+                self._pending.pop(name, None)
+            else:
+                self._pending[name] = composed
+
+    # ------------------------------------------------------------------
+    # Refresh-side
+    # ------------------------------------------------------------------
+    def pending_deltas(self) -> dict[str, Delta]:
+        """The composed deltas accumulated so far (read-only view)."""
+        return dict(self._pending)
+
+    def pending_transaction_count(self) -> int:
+        """How many effective transactions are awaiting a refresh."""
+        return self._transactions_seen
+
+    def has_pending(self) -> bool:
+        """True when at least one relation has a non-empty pending delta."""
+        return bool(self._pending)
+
+    def drain(self) -> dict[str, Delta]:
+        """Hand over and clear the composed deltas (one refresh unit).
+
+        The returned mapping behaves like the net effect of a single
+        large transaction covering everything since the last drain.
+        """
+        deltas = self._pending
+        self._pending = {}
+        self._transactions_seen = 0
+        return deltas
+
+    def detach(self) -> None:
+        """Stop observing commits (for teardown in tests)."""
+        self._database.remove_commit_hook(self._on_commit)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SnapshotQueue {len(self._pending)} relations pending, "
+            f"{self._transactions_seen} txns>"
+        )

@@ -1,0 +1,188 @@
+"""Transactions with the paper's net-effect semantics (Section 3).
+
+A transaction is an *indivisible* sequence of insert and delete
+operations against base relations.  The paper represents its effect on
+each relation ``r`` by two sets — inserted tuples ``i_r`` and deleted
+tuples ``d_r`` — such that ``r``, ``i_r`` and ``d_r`` are mutually
+disjoint and the new state is ``r ∪ i_r − d_r``.  Crucially, only the
+*net* changes count: "if a tuple not in the relation is inserted and
+then deleted within a transaction, it is not represented at all in this
+set of changes".
+
+:class:`Transaction` implements exactly that bookkeeping.  Operations
+are validated and folded into net-effect sets relative to the
+relation's pre-transaction state:
+
+* ``insert(t)`` with ``t`` pending deletion cancels the deletion;
+  with ``t`` already present (or already pending insertion) it is a
+  no-op (base relations are sets — count 1 per tuple, per §5.2);
+  otherwise ``t`` joins the pending-insert set.
+* ``delete(t)`` with ``t`` pending insertion cancels the insertion;
+  with ``t`` present and not yet deleted it joins the pending-delete
+  set; otherwise it is a no-op.
+
+The resulting sets provably satisfy the Section 3 disjointness
+invariant, which the property tests verify against a replay oracle.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Iterable
+
+from repro.algebra.relation import Delta
+from repro.algebra.tuples import coerce_row
+from repro.errors import TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.database import Database
+
+ValueTuple = tuple[int, ...]
+
+
+class TransactionState(enum.Enum):
+    """Lifecycle of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """An atomic batch of base-relation updates.
+
+    Obtain instances through :meth:`repro.engine.database.Database.begin`
+    or the :meth:`~repro.engine.database.Database.transact` context
+    manager rather than constructing them directly.
+    """
+
+    def __init__(self, database: "Database", txn_id: int) -> None:
+        self._database = database
+        self.txn_id = txn_id
+        self.state = TransactionState.ACTIVE
+        # Per relation: net pending inserts / deletes (encoded tuples).
+        self._pending_inserts: dict[str, set[ValueTuple]] = {}
+        self._pending_deletes: dict[str, set[ValueTuple]] = {}
+
+    # ------------------------------------------------------------------
+    # Update operations
+    # ------------------------------------------------------------------
+    def insert(self, relation_name: str, row: object) -> None:
+        """``insert(R, t)``: make ``t`` present in ``R`` after commit."""
+        self._require_active()
+        relation = self._database.relation(relation_name)
+        values = coerce_row(relation.schema, row)
+        inserts = self._pending_inserts.setdefault(relation_name, set())
+        deletes = self._pending_deletes.setdefault(relation_name, set())
+        if values in deletes:
+            # Was present, deleted earlier in this transaction; reinsert
+            # cancels to a net no-op.
+            deletes.discard(values)
+            return
+        if values in inserts or values in relation:
+            return
+        inserts.add(values)
+
+    def insert_many(self, relation_name: str, rows: Iterable[object]) -> None:
+        """Insert every row of ``rows`` into ``relation_name``."""
+        for row in rows:
+            self.insert(relation_name, row)
+
+    def delete(self, relation_name: str, row: object) -> None:
+        """``delete(R, t)``: make ``t`` absent from ``R`` after commit."""
+        self._require_active()
+        relation = self._database.relation(relation_name)
+        values = coerce_row(relation.schema, row)
+        inserts = self._pending_inserts.setdefault(relation_name, set())
+        deletes = self._pending_deletes.setdefault(relation_name, set())
+        if values in inserts:
+            # Inserted earlier in this transaction: net no-op.
+            inserts.discard(values)
+            return
+        if values in relation and values not in deletes:
+            deletes.add(values)
+
+    def delete_many(self, relation_name: str, rows: Iterable[object]) -> None:
+        """Delete every row of ``rows`` from ``relation_name``."""
+        for row in rows:
+            self.delete(relation_name, row)
+
+    def update(self, relation_name: str, old_row: object, new_row: object) -> None:
+        """Modify a tuple in place, expressed as delete + insert.
+
+        The paper's model has no primitive update operation; replacing a
+        tuple is a deletion of the old value and an insertion of the
+        new one, and the net-effect machinery handles the rest.
+        """
+        self.delete(relation_name, old_row)
+        self.insert(relation_name, new_row)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def touched_relations(self) -> tuple[str, ...]:
+        """Names of relations with a non-empty net effect so far."""
+        names = set()
+        for name, pending in self._pending_inserts.items():
+            if pending:
+                names.add(name)
+        for name, pending in self._pending_deletes.items():
+            if pending:
+                names.add(name)
+        return tuple(sorted(names))
+
+    def net_deltas(self) -> dict[str, Delta]:
+        """The current net effect per relation, as :class:`Delta` objects.
+
+        Only relations with a non-empty net effect appear in the result.
+        """
+        deltas: dict[str, Delta] = {}
+        for name in self.touched_relations():
+            schema = self._database.relation(name).schema
+            deltas[name] = Delta.from_counts(
+                schema,
+                {v: 1 for v in self._pending_inserts.get(name, ())},
+                {v: 1 for v in self._pending_deletes.get(name, ())},
+            )
+        return deltas
+
+    def is_read_only(self) -> bool:
+        """True when the transaction has no net effect at all."""
+        return not self.touched_relations()
+
+    # ------------------------------------------------------------------
+    # Termination
+    # ------------------------------------------------------------------
+    def commit(self) -> dict[str, Delta]:
+        """Atomically apply the net effect and run maintenance hooks.
+
+        Returns the per-relation deltas that were applied.  Hooks (view
+        maintainers, index managers, the update log) run *inside* the
+        commit, matching the paper's assumption that "the differential
+        update mechanism is invoked as the last operation within the
+        transaction".
+        """
+        self._require_active()
+        deltas = self.net_deltas()
+        self.state = TransactionState.COMMITTED
+        self._database._apply_commit(self, deltas)
+        return deltas
+
+    def abort(self) -> None:
+        """Discard all pending operations."""
+        self._require_active()
+        self.state = TransactionState.ABORTED
+        self._pending_inserts.clear()
+        self._pending_deletes.clear()
+
+    def _require_active(self) -> None:
+        if self.state is not TransactionState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.state.value}, not active"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Transaction {self.txn_id} {self.state.value} "
+            f"touching {list(self.touched_relations())}>"
+        )

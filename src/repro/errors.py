@@ -1,0 +1,77 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and
+friends raised by misuse of the Python API itself) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or two schemas are incompatible.
+
+    Raised, for example, when a tuple's arity does not match its schema,
+    when a projection names an attribute the schema lacks, or when two
+    relations joined by a cross product share attribute names (the paper
+    assumes disjoint schemes, ``R_i ∩ R_j = ∅``).
+    """
+
+
+class DomainError(ReproError):
+    """A value lies outside the domain declared for its attribute."""
+
+
+class ConditionError(ReproError):
+    """A selection condition is not in the supported class.
+
+    Section 4 of the paper restricts conditions to conjunctions (and
+    disjunctions of conjunctions) of atomic formulae ``x op y``,
+    ``x op c`` and ``x op y + c`` with ``op ∈ {=, <, >, <=, >=}``.
+    The operator ``!=`` is explicitly excluded because it breaks the
+    polynomial satisfiability test of Rosenkrantz and Hunt.
+    """
+
+
+class ExpressionError(ReproError):
+    """A relational-algebra expression is malformed.
+
+    Examples: selecting on attributes not produced by the operand,
+    joining relations whose schemas are not disjoint on non-join
+    attributes when the operation requires it, or supplying a view
+    definition outside the SPJ class.
+    """
+
+
+class TransactionError(ReproError):
+    """A transaction was used incorrectly.
+
+    Raised for commits of already-committed transactions, operations on
+    aborted transactions, or updates that reference unknown relations.
+    """
+
+
+class UnknownRelationError(TransactionError):
+    """A statement referenced a base relation the database does not hold."""
+
+
+class UnknownViewError(ReproError):
+    """A maintenance request referenced a view that was never registered."""
+
+
+class ViewDefinitionError(ExpressionError):
+    """A view definition cannot be maintained by this library.
+
+    The differential algorithm of Section 5 supports exactly the class of
+    SPJ expressions; definitions containing other operators are rejected
+    at registration time with this error.
+    """
+
+
+class MaintenanceError(ReproError):
+    """Differential maintenance failed or was invoked inconsistently."""

@@ -1,0 +1,83 @@
+"""Lightweight operation counting used by the benchmark harness.
+
+The paper argues about costs in terms of *work avoided* — tuples that
+never reach a join, truth-table rows that never get evaluated, views
+that never get recomputed.  Wall-clock time alone hides those effects
+behind constant factors, so the evaluator and maintenance code charge
+abstract operation counters (tuples scanned, join probes, tuples
+emitted, satisfiability checks, truth-table rows evaluated, …) to an
+optional active :class:`CostRecorder`.
+
+Recording is opt-in and near-zero-cost when inactive: every charge site
+first checks a module-level flag.
+
+Usage::
+
+    recorder = CostRecorder()
+    with recording(recorder):
+        maintainer.apply_transaction(...)
+    print(recorder.counters)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class CostRecorder:
+    """An accumulating bag of named operation counters."""
+
+    __slots__ = ("counters",)
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never charged)."""
+        return self.counters.get(name, 0)
+
+    def reset(self) -> None:
+        """Clear all counters."""
+        self.counters.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """A copy of the current counter values."""
+        return dict(self.counters)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+        return f"<CostRecorder {inner or 'empty'}>"
+
+
+# Module-level active recorder.  Plain module global (not a contextvar):
+# the library is single-threaded by design and this keeps the charge
+# fast-path to one global load and one ``is None`` test.
+_ACTIVE: CostRecorder | None = None
+
+
+def active_recorder() -> CostRecorder | None:
+    """The recorder charges currently flow to, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def recording(recorder: CostRecorder) -> Iterator[CostRecorder]:
+    """Route all charges to ``recorder`` for the duration of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    try:
+        yield recorder
+    finally:
+        _ACTIVE = previous
+
+
+def charge(name: str, amount: int = 1) -> None:
+    """Charge ``amount`` to counter ``name`` on the active recorder."""
+    if _ACTIVE is not None:
+        _ACTIVE.incr(name, amount)

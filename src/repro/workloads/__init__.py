@@ -1,0 +1,38 @@
+"""Synthetic workloads.
+
+The paper contains no experimental workload, so the benchmarks drive
+the system with parameterized synthetic ones (:mod:`generators`) and a
+few named scenarios drawn from the paper's own examples and motivating
+applications (:mod:`scenarios`).  All generation is deterministic under
+a caller-supplied seed.
+"""
+
+from repro.workloads.generators import (
+    RelationSpec,
+    UpdateStreamSpec,
+    generate_relation_rows,
+    generate_update_stream,
+    generate_chain_database,
+)
+from repro.workloads.scenarios import (
+    example_4_1,
+    paper_p3_join,
+    sales_scenario,
+    alerter_scenario,
+    Scenario,
+)
+from repro.workloads.orderflow import OrderFlow
+
+__all__ = [
+    "RelationSpec",
+    "UpdateStreamSpec",
+    "generate_relation_rows",
+    "generate_update_stream",
+    "generate_chain_database",
+    "example_4_1",
+    "paper_p3_join",
+    "sales_scenario",
+    "alerter_scenario",
+    "Scenario",
+    "OrderFlow",
+]

@@ -1,0 +1,201 @@
+"""Parameterized synthetic data and update-stream generation.
+
+All randomness flows through a caller-supplied seed, so every benchmark
+run is reproducible.  The key knobs mirror the quantities the paper's
+cost arguments depend on:
+
+* relation cardinality and attribute value ranges (join selectivity);
+* update batch size relative to relation size (the |delta|/|base|
+  ratio that decides differential vs full re-evaluation, E9);
+* the *irrelevant fraction* of an update stream — tuples constructed
+  to provably fail the view condition (E10);
+* join fan-out in chain schemas (how many view tuples one base tuple
+  supports, E5/E8).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from repro.algebra.schema import RelationSchema
+from repro.engine.database import Database
+from repro.errors import ReproError
+
+
+class RelationSpec:
+    """How to generate one relation's rows.
+
+    Attributes are integer-valued and uniformly drawn from
+    ``[lo, hi]`` per attribute; a ``(lo, hi)`` pair may be given per
+    attribute or once for all.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        cardinality: int,
+        value_range: tuple[int, int] | Sequence[tuple[int, int]] = (0, 1000),
+    ) -> None:
+        self.name = name
+        self.attributes = tuple(attributes)
+        self.cardinality = cardinality
+        if isinstance(value_range[0], int):
+            ranges = [value_range] * len(self.attributes)  # type: ignore[list-item]
+        else:
+            ranges = list(value_range)  # type: ignore[arg-type]
+        if len(ranges) != len(self.attributes):
+            raise ReproError(
+                f"{len(ranges)} value ranges for {len(self.attributes)} attributes"
+            )
+        self.ranges: list[tuple[int, int]] = [tuple(r) for r in ranges]  # type: ignore[misc]
+
+    def schema(self) -> RelationSchema:
+        """The generated relation's schema."""
+        return RelationSchema(self.attributes)
+
+
+def generate_relation_rows(
+    spec: RelationSpec, rng: random.Random
+) -> list[tuple[int, ...]]:
+    """Draw ``spec.cardinality`` distinct rows.
+
+    Distinctness matches base relations' set semantics; generation
+    retries on collisions, so keep cardinality well under the value
+    space.
+    """
+    space = 1
+    for lo, hi in spec.ranges:
+        space *= hi - lo + 1
+    if spec.cardinality > space:
+        raise ReproError(
+            f"cannot draw {spec.cardinality} distinct rows from a space of {space}"
+        )
+    rows: set[tuple[int, ...]] = set()
+    while len(rows) < spec.cardinality:
+        rows.add(tuple(rng.randint(lo, hi) for lo, hi in spec.ranges))
+    return sorted(rows)
+
+
+class UpdateStreamSpec:
+    """How to generate a stream of update batches for one relation.
+
+    Parameters
+    ----------
+    relation:
+        The :class:`RelationSpec` being updated.
+    batch_size:
+        Tuples per transaction.
+    insert_fraction:
+        Fraction of each batch that inserts (the rest deletes existing
+        tuples).
+    irrelevant_fraction:
+        Fraction of *inserted* tuples drawn from
+        ``irrelevant_ranges`` instead of the relation's normal ranges —
+        used to construct updates that provably fail a view condition.
+    irrelevant_ranges:
+        Per-attribute ``(lo, hi)`` ranges guaranteed (by the caller's
+        choice of view condition) to make the tuple irrelevant.
+    """
+
+    def __init__(
+        self,
+        relation: RelationSpec,
+        batch_size: int,
+        insert_fraction: float = 1.0,
+        irrelevant_fraction: float = 0.0,
+        irrelevant_ranges: Sequence[tuple[int, int]] | None = None,
+    ) -> None:
+        if not 0.0 <= insert_fraction <= 1.0:
+            raise ReproError("insert_fraction must be in [0, 1]")
+        if not 0.0 <= irrelevant_fraction <= 1.0:
+            raise ReproError("irrelevant_fraction must be in [0, 1]")
+        if irrelevant_fraction > 0 and irrelevant_ranges is None:
+            raise ReproError(
+                "irrelevant_fraction needs irrelevant_ranges to draw from"
+            )
+        self.relation = relation
+        self.batch_size = batch_size
+        self.insert_fraction = insert_fraction
+        self.irrelevant_fraction = irrelevant_fraction
+        self.irrelevant_ranges = (
+            [tuple(r) for r in irrelevant_ranges] if irrelevant_ranges else None
+        )
+
+
+def generate_update_stream(
+    spec: UpdateStreamSpec,
+    current_rows: Sequence[tuple[int, ...]],
+    batches: int,
+    rng: random.Random,
+) -> Iterator[tuple[list[tuple[int, ...]], list[tuple[int, ...]]]]:
+    """Yield ``(inserts, deletes)`` batches against a live row set.
+
+    ``current_rows`` seeds the pool deletions draw from; the pool is
+    kept in step with the generated batches so deletions always target
+    rows that exist at that point in the stream.
+    """
+    pool = list(current_rows)
+    pool_set = set(pool)
+    relation = spec.relation
+    for _ in range(batches):
+        inserts: list[tuple[int, ...]] = []
+        deletes: list[tuple[int, ...]] = []
+        insert_count = round(spec.batch_size * spec.insert_fraction)
+        delete_count = spec.batch_size - insert_count
+        # Deletions are drawn first so a batch never deletes a row it
+        # inserts itself (which would be a net no-op anyway).
+        for _ in range(min(delete_count, len(pool))):
+            index = rng.randrange(len(pool))
+            row = pool[index]
+            pool[index] = pool[-1]
+            pool.pop()
+            pool_set.discard(row)
+            deletes.append(row)
+        for _ in range(insert_count):
+            use_irrelevant = (
+                spec.irrelevant_ranges is not None
+                and rng.random() < spec.irrelevant_fraction
+            )
+            ranges = (
+                spec.irrelevant_ranges if use_irrelevant else relation.ranges
+            )
+            for _attempt in range(1000):
+                row = tuple(rng.randint(lo, hi) for lo, hi in ranges)
+                if row not in pool_set:
+                    break
+            else:  # pragma: no cover - astronomically unlikely
+                raise ReproError("could not draw a fresh row in 1000 attempts")
+            inserts.append(row)
+            pool.append(row)
+            pool_set.add(row)
+        yield inserts, deletes
+
+
+def generate_chain_database(
+    relation_count: int,
+    cardinality: int,
+    value_range: tuple[int, int] = (0, 200),
+    seed: int = 7,
+) -> tuple[Database, list[str]]:
+    """A p-relation chain-join database: r1(A0,A1), r2(A1,A2), …
+
+    Adjacent relations share an attribute, so
+    ``r1 ⋈ r2 ⋈ … ⋈ rp`` is the natural chain join — the shape of the
+    paper's Section 5.3 example with ``p`` relations.  Returns the
+    populated database and the relation names in chain order.
+    """
+    if relation_count < 1:
+        raise ReproError("need at least one relation")
+    rng = random.Random(seed)
+    db = Database()
+    names = []
+    for i in range(relation_count):
+        name = f"r{i + 1}"
+        spec = RelationSpec(
+            name, [f"A{i}", f"A{i + 1}"], cardinality, value_range
+        )
+        db.create_relation(name, spec.schema(), generate_relation_rows(spec, rng))
+        names.append(name)
+    return db, names

@@ -1,0 +1,159 @@
+"""A richer multi-table workload: order flow.
+
+A TPC-flavoured three-table schema exercising every maintenance path at
+once — joins across three relations, selective conditions, stacked
+views, deferred snapshots — under a mixed transaction stream (new
+order lines, shipments, price changes).  Used by the E18 macro
+benchmark and available to applications as a ready-made harness.
+
+Schema (integer-coded per the paper's Section 3 convention):
+
+* ``customer(cust_id, region, tier)``
+* ``product(prod_id, price, category)``
+* ``lineitem(line_id, cust_id, prod_id, qty, status)`` — status 0 =
+  open, 1 = shipped, 2 = cancelled.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.algebra.expressions import BaseRef, Expression
+from repro.engine.database import Database
+from repro.errors import ReproError
+
+
+class OrderFlow:
+    """One populated order-flow database plus its view definitions."""
+
+    def __init__(
+        self,
+        customers: int = 200,
+        products: int = 100,
+        lineitems: int = 2000,
+        seed: int = 18,
+    ) -> None:
+        if min(customers, products, lineitems) < 1:
+            raise ReproError("all table sizes must be positive")
+        rng = random.Random(seed)
+        self.database = Database()
+        self.database.create_relation(
+            "customer",
+            ["cust_id", "region", "tier"],
+            [(i, rng.randint(0, 4), rng.randint(0, 2)) for i in range(customers)],
+        )
+        self.database.create_relation(
+            "product",
+            ["prod_id", "price", "category"],
+            [(i, rng.randint(1, 500), rng.randint(0, 9)) for i in range(products)],
+        )
+        self.database.create_relation(
+            "lineitem",
+            ["line_id", "cust_id", "prod_id", "qty", "status"],
+            [
+                (
+                    i,
+                    rng.randrange(customers),
+                    rng.randrange(products),
+                    rng.randint(1, 20),
+                    rng.randint(0, 2),
+                )
+                for i in range(lineitems)
+            ],
+        )
+        self._customers = customers
+        self._products = products
+        self._next_line_id = lineitems
+
+    # ------------------------------------------------------------------
+    # View definitions
+    # ------------------------------------------------------------------
+    def view_definitions(self) -> dict[str, Expression]:
+        """The workload's standard views, in dependency order.
+
+        ``open_lines`` is referenced by ``open_premium`` — a stacked
+        view — so iteration order matters when registering.
+        """
+        open_lines = (
+            BaseRef("lineitem")
+            .select("status = 0 and qty >= 5")
+            .project(["line_id", "cust_id", "prod_id", "qty"])
+        )
+        open_premium = (
+            BaseRef("open_lines")
+            .join(BaseRef("customer"))
+            .select("tier = 2")
+            .project(["line_id", "cust_id"])
+        )
+        pricey_open = (
+            BaseRef("lineitem")
+            .join(BaseRef("product"))
+            .select("status = 0 and price > 400")
+            .project(["line_id", "prod_id", "price"])
+        )
+        region_activity = (
+            BaseRef("lineitem")
+            .join(BaseRef("customer"))
+            .select("status = 0")
+            .project(["region"])
+        )
+        return {
+            "open_lines": open_lines,
+            "open_premium": open_premium,
+            "pricey_open": pricey_open,
+            "region_activity": region_activity,
+        }
+
+    # ------------------------------------------------------------------
+    # Transaction stream
+    # ------------------------------------------------------------------
+    def transactions(self, count: int, seed: int = 19) -> Iterator[None]:
+        """Run ``count`` mixed transactions against the database.
+
+        Mix: 50 % new order lines, 30 % shipments (status 0 → 1), 10 %
+        cancellations, 10 % price changes.  Yields after each commit so
+        callers can interleave measurements.
+        """
+        rng = random.Random(seed)
+        db = self.database
+        for _ in range(count):
+            with db.transact() as txn:
+                roll = rng.random()
+                if roll < 0.5:
+                    txn.insert(
+                        "lineitem",
+                        (
+                            self._next_line_id,
+                            rng.randrange(self._customers),
+                            rng.randrange(self._products),
+                            rng.randint(1, 20),
+                            0,
+                        ),
+                    )
+                    self._next_line_id += 1
+                elif roll < 0.9:
+                    new_status = 1 if roll < 0.8 else 2
+                    open_rows = [
+                        row
+                        for row in db.relation("lineitem").value_tuples()
+                        if row[4] == 0
+                    ]
+                    if open_rows:
+                        row = open_rows[rng.randrange(len(open_rows))]
+                        txn.update("lineitem", row, row[:4] + (new_status,))
+                else:
+                    products = sorted(db.relation("product").value_tuples())
+                    row = products[rng.randrange(len(products))]
+                    txn.update(
+                        "product", row, (row[0], rng.randint(1, 500), row[2])
+                    )
+            yield
+
+    def __repr__(self) -> str:
+        db = self.database
+        return (
+            f"<OrderFlow customers={len(db.relation('customer'))} "
+            f"products={len(db.relation('product'))} "
+            f"lineitems={len(db.relation('lineitem'))}>"
+        )

@@ -1,0 +1,79 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from repro import BaseRef, Database, Relation, RelationSchema, ViewMaintainer
+
+
+# ----------------------------------------------------------------------
+# Plain fixtures
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def rs_ab() -> RelationSchema:
+    """The paper's recurring scheme R = {A, B}."""
+    return RelationSchema(["A", "B"])
+
+
+@pytest.fixture
+def rs_cd() -> RelationSchema:
+    """The paper's recurring scheme S = {C, D}."""
+    return RelationSchema(["C", "D"])
+
+
+@pytest.fixture
+def example_41_db() -> Database:
+    """The database instance printed in Example 4.1."""
+    db = Database()
+    db.create_relation("r", ["A", "B"], [(1, 2), (5, 10), (12, 15)])
+    db.create_relation("s", ["C", "D"], [(2, 10), (10, 20)])
+    return db
+
+
+@pytest.fixture
+def example_41_view_expr():
+    """u = π_{A,D}(σ_{A<10 ∧ C>5 ∧ B=C}(r × s))."""
+    return (
+        BaseRef("r")
+        .product(BaseRef("s"))
+        .select("A < 10 and C > 5 and B = C")
+        .project(["A", "D"])
+    )
+
+
+# ----------------------------------------------------------------------
+# Random-database helpers (used by property and integration tests)
+# ----------------------------------------------------------------------
+
+def make_random_two_table_db(rng: random.Random, size: int = 12) -> Database:
+    """A small r(A,B) / s(B,C) database with overlapping B values."""
+    db = Database()
+    r_rows = {(rng.randint(0, 9), rng.randint(0, 9)) for _ in range(size)}
+    s_rows = {(rng.randint(0, 9), rng.randint(0, 9)) for _ in range(size)}
+    db.create_relation("r", ["A", "B"], sorted(r_rows))
+    db.create_relation("s", ["B", "C"], sorted(s_rows))
+    return db
+
+
+def run_random_transactions(
+    db: Database, rng: random.Random, count: int, value_max: int = 9
+) -> None:
+    """Apply ``count`` random insert/delete transactions to ``db``."""
+    names = db.relation_names()
+    for _ in range(count):
+        with db.transact() as txn:
+            for _ in range(rng.randint(1, 4)):
+                name = rng.choice(names)
+                relation = db.relation(name)
+                if rng.random() < 0.45 and len(relation):
+                    row = rng.choice(sorted(relation.value_tuples()))
+                    txn.delete(name, row)
+                else:
+                    width = len(relation.schema)
+                    txn.insert(
+                        name,
+                        tuple(rng.randint(0, value_max) for _ in range(width)),
+                    )

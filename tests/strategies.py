@@ -1,0 +1,84 @@
+"""Hypothesis strategies shared across test modules."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.algebra.conditions import Atom, Condition, Conjunction
+
+#: Small integer constants, biased toward the interesting region.
+small_ints = st.integers(min_value=-8, max_value=8)
+
+#: Variable names drawn from a tiny pool so atoms interact.
+var_names = st.sampled_from(["x", "y", "z", "w"])
+
+ops = st.sampled_from(["=", "<", ">", "<=", ">="])
+
+
+@st.composite
+def atoms(draw) -> Atom:
+    """Random paper-class atoms: x op y + c, x op c, or c op d."""
+    shape = draw(st.sampled_from(["two-var", "var-const", "ground"]))
+    op = draw(ops)
+    if shape == "two-var":
+        return Atom(draw(var_names), op, draw(var_names), draw(small_ints))
+    if shape == "var-const":
+        return Atom(draw(var_names), op, draw(small_ints))
+    return Atom(draw(small_ints), op, draw(small_ints))
+
+
+@st.composite
+def conjunctions(draw, max_atoms: int = 5) -> Conjunction:
+    """Random conjunctions of paper-class atoms."""
+    n = draw(st.integers(min_value=0, max_value=max_atoms))
+    return Conjunction([draw(atoms()) for _ in range(n)])
+
+
+two_var_names = st.sampled_from(["x", "y"])
+
+
+@st.composite
+def small_atoms(draw) -> Atom:
+    """Atoms over only two variables, for brute-force oracle tests."""
+    shape = draw(st.sampled_from(["two-var", "var-const", "ground"]))
+    op = draw(ops)
+    if shape == "two-var":
+        return Atom(draw(two_var_names), op, draw(two_var_names), draw(small_ints))
+    if shape == "var-const":
+        return Atom(draw(two_var_names), op, draw(small_ints))
+    return Atom(draw(small_ints), op, draw(small_ints))
+
+
+@st.composite
+def small_conjunctions(draw, max_atoms: int = 4) -> Conjunction:
+    """Conjunctions over ≤2 variables — cheap to brute-force."""
+    n = draw(st.integers(min_value=0, max_value=max_atoms))
+    return Conjunction([draw(small_atoms()) for _ in range(n)])
+
+
+def solution_box(conjunction: Conjunction) -> int:
+    """A sound enumeration bound for the brute-force oracle.
+
+    If a difference-constraint system is satisfiable over the integers,
+    the shortest-path solution's values are bounded by the sum of
+    absolute edge weights; each atom contributes at most two edges of
+    weight |offset or constant| + 1.
+    """
+    bound = 1
+    for atom in conjunction.atoms:
+        weights = [abs(atom.offset) + 1]
+        from repro.algebra.conditions import Const
+
+        if isinstance(atom.right, Const):
+            weights.append(abs(atom.right.value) + 1)
+        if isinstance(atom.left, Const):
+            weights.append(abs(atom.left.value) + 1)
+        bound += 2 * max(weights)
+    return bound
+
+
+@st.composite
+def conditions(draw, max_disjuncts: int = 3, max_atoms: int = 4) -> Condition:
+    """Random DNF conditions."""
+    n = draw(st.integers(min_value=1, max_value=max_disjuncts))
+    return Condition([draw(conjunctions(max_atoms)) for _ in range(n)])

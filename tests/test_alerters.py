@@ -1,0 +1,154 @@
+"""Unit tests for the alerter registry ([BC79] extension)."""
+
+import pytest
+
+from repro.algebra.expressions import BaseRef
+from repro.engine.database import Database
+from repro.errors import MaintenanceError
+from repro.extensions.alerters import AlertEvent, AlerterRegistry
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_relation("sensor", ["sid", "threshold"], [(1, 100), (2, 50)])
+    database.create_relation("reading", ["sid", "value"], [])
+    return database
+
+
+@pytest.fixture
+def registry(db):
+    return AlerterRegistry(db)
+
+
+OVERHEAT = (
+    BaseRef("sensor")
+    .join(BaseRef("reading"))
+    .select("value > threshold + 10")
+    .project(["sid", "value"])
+)
+
+
+class TestDefinition:
+    def test_define_and_list(self, registry):
+        registry.define("overheat", OVERHEAT)
+        assert registry.alerter_names() == ("overheat",)
+        assert registry.alerter("overheat").active_conditions() == []
+
+    def test_duplicate_rejected(self, registry):
+        registry.define("overheat", OVERHEAT)
+        with pytest.raises(MaintenanceError):
+            registry.define("overheat", OVERHEAT)
+
+    def test_drop(self, registry):
+        registry.define("overheat", OVERHEAT)
+        registry.drop("overheat")
+        assert registry.alerter_names() == ()
+        with pytest.raises(MaintenanceError):
+            registry.drop("overheat")
+
+    def test_unknown_lookup(self, registry):
+        with pytest.raises(MaintenanceError):
+            registry.alerter("zzz")
+
+    def test_preexisting_conditions_do_not_fire(self, db):
+        with db.transact() as txn:
+            txn.insert("reading", (1, 200))
+        registry = AlerterRegistry(db)
+        registry.define("overheat", OVERHEAT)
+        assert registry.log == []
+        assert registry.alerter("overheat").active_conditions() == [(1, 200)]
+
+
+class TestFiring:
+    def test_raise_event(self, db, registry):
+        events = []
+        registry.define("overheat", OVERHEAT, on_event=events.append)
+        with db.transact() as txn:
+            txn.insert("reading", (1, 150))
+        assert events == [
+            AlertEvent("overheat", AlertEvent.RAISED, (1, 150), 1)
+        ]
+        assert registry.log == events
+        assert registry.alerter("overheat").events_fired == 1
+
+    def test_clear_event(self, db, registry):
+        events = []
+        registry.define("overheat", OVERHEAT, on_event=events.append)
+        with db.transact() as txn:
+            txn.insert("reading", (1, 150))
+        with db.transact() as txn:
+            txn.delete("reading", (1, 150))
+        assert [e.kind for e in events] == [
+            AlertEvent.RAISED,
+            AlertEvent.CLEARED,
+        ]
+        assert registry.alerter("overheat").active_conditions() == []
+
+    def test_irrelevant_updates_fire_nothing(self, db, registry):
+        events = []
+        registry.define("overheat", OVERHEAT, on_event=events.append)
+        with db.transact() as txn:
+            txn.insert("reading", (1, 50))  # well under every threshold+10
+        assert events == []
+
+    def test_count_changes_are_not_events(self, db, registry):
+        """A projected tuple supported twice raises once; losing one
+        support is not a clear."""
+        events = []
+        # Project away the sensor id so two sensors can support one tuple.
+        expr = (
+            BaseRef("sensor")
+            .join(BaseRef("reading"))
+            .select("value > threshold + 10")
+            .project(["value"])
+        )
+        registry.define("hot_value", expr, on_event=events.append)
+        with db.transact() as txn:
+            txn.insert("reading", (1, 150))
+            txn.insert("reading", (2, 150))
+        # Both sensors trip on value 150: one raise for the tuple (150,).
+        assert [e.kind for e in events] == [AlertEvent.RAISED]
+        with db.transact() as txn:
+            txn.delete("reading", (1, 150))
+        assert [e.kind for e in events] == [AlertEvent.RAISED]  # still raised
+        with db.transact() as txn:
+            txn.delete("reading", (2, 150))
+        assert [e.kind for e in events] == [
+            AlertEvent.RAISED,
+            AlertEvent.CLEARED,
+        ]
+
+    def test_multiple_alerters_independent(self, db, registry):
+        hot = registry.define("overheat", OVERHEAT)
+        cold = registry.define(
+            "freeze",
+            BaseRef("reading").select("value < 0").project(["sid"]),
+        )
+        with db.transact() as txn:
+            txn.insert("reading", (1, 150))
+            txn.insert("reading", (2, -5))
+        assert hot.events_fired == 1
+        assert cold.events_fired == 1
+        kinds = {(e.alerter, e.kind) for e in registry.log}
+        assert kinds == {
+            ("overheat", AlertEvent.RAISED),
+            ("freeze", AlertEvent.RAISED),
+        }
+
+    def test_detach_stops_delivery(self, db, registry):
+        events = []
+        registry.define("overheat", OVERHEAT, on_event=events.append)
+        registry.detach()
+        with db.transact() as txn:
+            txn.insert("reading", (1, 150))
+        assert events == []
+
+
+class TestAlertEvent:
+    def test_equality_and_repr(self):
+        a = AlertEvent("x", AlertEvent.RAISED, (1,), 1)
+        b = AlertEvent("x", AlertEvent.RAISED, (1,), 1)
+        assert a == b
+        assert a != AlertEvent("x", AlertEvent.CLEARED, (1,), 1)
+        assert "raised" in repr(a)

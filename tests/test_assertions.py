@@ -1,0 +1,161 @@
+"""Unit tests for integrity-assertion monitoring ([HS78] extension)."""
+
+import pytest
+
+from repro.algebra.expressions import BaseRef
+from repro.engine.database import Database
+from repro.errors import MaintenanceError
+from repro.extensions.assertions import AssertionMonitor, IntegrityViolation
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    # accounts(acct, balance); the invariant: no negative balances.
+    database.create_relation("accounts", ["acct", "balance"], [(1, 100), (2, 0)])
+    # orders(order_id, acct): every order's account must be "active"
+    # (balance >= 1) — modelled below as a join assertion.
+    database.create_relation("orders", ["order_id", "acct"], [(10, 1)])
+    return database
+
+
+@pytest.fixture
+def monitor(db):
+    return AssertionMonitor(db)
+
+
+NEGATIVE_BALANCE = BaseRef("accounts").select("balance < 0")
+
+
+class TestDeclaration:
+    def test_declare_compiles(self, monitor):
+        assertion = monitor.declare("non_negative", NEGATIVE_BALANCE)
+        assert assertion.relation_names == {"accounts"}
+        assert monitor.assertion_names() == ("non_negative",)
+
+    def test_declare_rejects_currently_violated(self, db, monitor):
+        with db.transact() as txn:
+            txn.insert("accounts", (3, -5))
+        with pytest.raises(IntegrityViolation):
+            monitor.declare("non_negative", NEGATIVE_BALANCE)
+
+    def test_duplicate_name_rejected(self, monitor):
+        monitor.declare("a", NEGATIVE_BALANCE)
+        with pytest.raises(MaintenanceError):
+            monitor.declare("a", NEGATIVE_BALANCE)
+
+    def test_drop(self, monitor):
+        monitor.declare("a", NEGATIVE_BALANCE)
+        monitor.drop("a")
+        assert monitor.assertion_names() == ()
+        with pytest.raises(MaintenanceError):
+            monitor.drop("a")
+
+
+class TestPreCommitValidation:
+    def test_valid_transaction_passes(self, db, monitor):
+        monitor.declare("non_negative", NEGATIVE_BALANCE)
+        txn = db.begin()
+        txn.insert("accounts", (3, 50))
+        monitor.validate_transaction(txn)  # must not raise
+        txn.commit()
+
+    def test_violating_insert_rejected_before_commit(self, db, monitor):
+        monitor.declare("non_negative", NEGATIVE_BALANCE)
+        txn = db.begin()
+        txn.insert("accounts", (3, -1))
+        with pytest.raises(IntegrityViolation) as exc:
+            monitor.validate_transaction(txn)
+        assert (3, -1) in exc.value.witnesses
+        txn.abort()
+        assert (3, -1) not in db.relation("accounts")
+
+    def test_update_into_violation_detected(self, db, monitor):
+        monitor.declare("non_negative", NEGATIVE_BALANCE)
+        txn = db.begin()
+        txn.update("accounts", (1, 100), (1, -100))
+        with pytest.raises(IntegrityViolation):
+            monitor.validate_transaction(txn)
+
+    def test_validation_is_side_effect_free(self, db, monitor):
+        monitor.declare("non_negative", NEGATIVE_BALANCE)
+        before = db.relation("accounts").copy()
+        txn = db.begin()
+        txn.insert("accounts", (3, -1))
+        with pytest.raises(IntegrityViolation):
+            monitor.validate_transaction(txn)
+        assert db.relation("accounts") == before
+
+    def test_screened_updates_skip_evaluation(self, db, monitor):
+        """Updates the §4 filter proves irrelevant to the error
+        predicate cost nothing — the [HS78] compile-time payoff."""
+        from repro.instrumentation import CostRecorder, recording
+
+        monitor.declare("non_negative", NEGATIVE_BALANCE)
+        txn = db.begin()
+        txn.insert("accounts", (3, 700))  # balance < 0 unsatisfiable
+        recorder = CostRecorder()
+        with recording(recorder):
+            monitor.validate_transaction(txn)
+        assert recorder.get("assertion_checks_screened") == 1
+        assert recorder.get("differential_updates") == 0
+
+    def test_join_assertion(self, db, monitor):
+        """An assertion spanning two relations: no order may reference
+        an account with zero balance."""
+        predicate = (
+            BaseRef("orders")
+            .join(BaseRef("accounts"))
+            .select("balance <= 0")
+        )
+        monitor.declare("orders_active_accounts", predicate)
+        txn = db.begin()
+        txn.insert("orders", (11, 2))  # account 2 has balance 0
+        with pytest.raises(IntegrityViolation):
+            monitor.validate_transaction(txn)
+
+    def test_join_assertion_other_side(self, db, monitor):
+        predicate = (
+            BaseRef("orders")
+            .join(BaseRef("accounts"))
+            .select("balance <= 0")
+        )
+        monitor.declare("orders_active_accounts", predicate)
+        # Draining account 1 to zero while it has an order violates too.
+        txn = db.begin()
+        txn.update("accounts", (1, 100), (1, 0))
+        with pytest.raises(IntegrityViolation):
+            monitor.validate_transaction(txn)
+
+    def test_read_only_transaction_passes(self, db, monitor):
+        monitor.declare("non_negative", NEGATIVE_BALANCE)
+        txn = db.begin()
+        monitor.validate_transaction(txn)
+        txn.commit()
+
+
+class TestPostCommitMonitoring:
+    def test_monitor_records_violations(self, db, monitor):
+        monitor.declare("non_negative", NEGATIVE_BALANCE)
+        monitor.attach()
+        with db.transact() as txn:
+            txn.insert("accounts", (3, -7))
+        assert len(monitor.observed_violations) == 1
+        txn_id, name, witnesses = monitor.observed_violations[0]
+        assert name == "non_negative"
+        assert witnesses == [(3, -7)]
+
+    def test_monitor_quiet_on_clean_commits(self, db, monitor):
+        monitor.declare("non_negative", NEGATIVE_BALANCE)
+        monitor.attach()
+        with db.transact() as txn:
+            txn.insert("accounts", (3, 7))
+        assert monitor.observed_violations == []
+
+    def test_detach(self, db, monitor):
+        monitor.declare("non_negative", NEGATIVE_BALANCE)
+        monitor.attach()
+        monitor.detach()
+        with db.transact() as txn:
+            txn.insert("accounts", (3, -7))
+        assert monitor.observed_violations == []

@@ -1,0 +1,171 @@
+"""Unit tests for the interactive shell."""
+
+import pytest
+
+from repro.cli import Shell, ShellError
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def shell():
+    return Shell()
+
+
+def _setup_sales(shell):
+    shell.execute("create table r (A, B)")
+    shell.execute("create table s (B, C)")
+    shell.execute("insert into r values (1, 10), (2, 20)")
+    shell.execute("insert into s values (10, 5), (20, 6)")
+
+
+class TestTables:
+    def test_create_table(self, shell):
+        out = shell.execute("create table r (A, B)")
+        assert "created table r(A, B)" == out
+        assert shell.execute("tables") == "r"
+
+    def test_create_table_no_attrs(self, shell):
+        with pytest.raises(ShellError):
+            shell.execute("create table r ()")
+
+    def test_insert_and_show(self, shell):
+        shell.execute("create table r (A, B)")
+        out = shell.execute("insert into r values (1, 2), (3, 4)")
+        assert "2 row(s) inserted" in out
+        shown = shell.execute("show r")
+        assert "1" in shown and "3" in shown
+
+    def test_delete(self, shell):
+        shell.execute("create table r (A)")
+        shell.execute("insert into r values (1), (2)")
+        shell.execute("delete from r values (1)")
+        assert "2" in shell.execute("show r")
+        assert " 1 " not in shell.execute("show r")
+
+    def test_non_integer_values_rejected(self, shell):
+        shell.execute("create table r (A)")
+        with pytest.raises(ShellError):
+            shell.execute("insert into r values (abc)")
+
+    def test_insert_without_rows_rejected(self, shell):
+        shell.execute("create table r (A)")
+        with pytest.raises(ShellError):
+            shell.execute("insert into r values")
+
+
+class TestViews:
+    def test_create_simple_view(self, shell):
+        _setup_sales(shell)
+        out = shell.execute("create view v as r where A < 2")
+        assert "created immediate view v (1 tuples)" == out
+        assert shell.execute("views") == "v"
+
+    def test_join_where_select(self, shell):
+        _setup_sales(shell)
+        shell.execute("create view v as r join s where C > 5 select A, C")
+        shown = shell.execute("show v")
+        assert "x1" in shown
+        # only (2, 6) qualifies
+        assert "6" in shown
+
+    def test_view_is_maintained(self, shell):
+        _setup_sales(shell)
+        shell.execute("create view v as r where B >= 20")
+        shell.execute("insert into r values (9, 30)")
+        assert "30" in shell.execute("show v")
+
+    def test_deferred_view_and_refresh(self, shell):
+        _setup_sales(shell)
+        shell.execute("create view v deferred as r where B >= 20")
+        shell.execute("insert into r values (9, 30)")
+        assert "30" not in shell.execute("show v")
+        assert shell.execute("refresh v") == "refreshed v"
+        assert "30" in shell.execute("show v")
+        assert "already current" in shell.execute("refresh v")
+
+    def test_stats(self, shell):
+        _setup_sales(shell)
+        shell.execute("create view v as r where B >= 20")
+        shell.execute("insert into r values (9, 30)")
+        stats = shell.execute("stats v")
+        assert "transactions_seen: 1" in stats
+
+    def test_drop_view(self, shell):
+        _setup_sales(shell)
+        shell.execute("create view v as r")
+        shell.execute("drop view v")
+        assert shell.execute("views") == "(no views)"
+
+    def test_stacked_view(self, shell):
+        _setup_sales(shell)
+        shell.execute("create view joined as r join s")
+        shell.execute("create view hot as joined where C > 5 select A")
+        shell.execute("insert into r values (9, 20)")
+        assert "9" in shell.execute("show hot")
+
+    def test_explain(self, shell):
+        _setup_sales(shell)
+        shell.execute("create view v as r join s select A, C")
+        text = shell.execute("explain v changing r")
+        assert "rows to evaluate: 1" in text
+        assert "hash-join" in text
+
+    def test_explain_usage_error(self, shell):
+        _setup_sales(shell)
+        shell.execute("create view v as r")
+        with pytest.raises(ShellError):
+            shell.execute("explain v")
+
+    def test_recommend_and_create_indexes(self, shell):
+        _setup_sales(shell)
+        shell.execute("create view v as r join s")
+        recommendations = shell.execute("recommend indexes v")
+        assert "create index on" in recommendations
+        # The recommendations are themselves executable commands.
+        for command in recommendations.splitlines():
+            assert "created index on" in shell.execute(command)
+        assert shell.maintainer.database.indexes.lookup("s", ("B",)) is not None
+
+    def test_recommend_indexes_none_needed(self, shell):
+        _setup_sales(shell)
+        shell.execute("create view v as r where A < 5")
+        assert "needs no indexes" in shell.execute("recommend indexes v")
+
+    def test_create_index_requires_attrs(self, shell):
+        _setup_sales(shell)
+        with pytest.raises(ShellError):
+            shell.execute("create index on r ()")
+
+
+class TestShellPlumbing:
+    def test_empty_line(self, shell):
+        assert shell.execute("") == ""
+        assert shell.execute("   ;  ") == ""
+
+    def test_help(self, shell):
+        assert "create table" in shell.execute("help")
+
+    def test_quit_raises_eof(self, shell):
+        with pytest.raises(EOFError):
+            shell.execute("quit")
+        with pytest.raises(EOFError):
+            shell.execute("exit")
+
+    def test_unparseable_line(self, shell):
+        with pytest.raises(ShellError):
+            shell.execute("select * from nowhere")
+
+    def test_errors_are_repro_errors(self, shell):
+        # Library errors bubble out as ReproError subclasses so the
+        # REPL loop can present them uniformly.
+        with pytest.raises(ReproError):
+            shell.execute("show missing_table")
+
+    def test_empty_catalogs(self, shell):
+        assert shell.execute("tables") == "(no tables)"
+        assert shell.execute("views") == "(no views)"
+
+    def test_case_insensitive_keywords(self, shell):
+        shell.execute("CREATE TABLE r (A)")
+        shell.execute("INSERT INTO r VALUES (1)")
+        assert "1 row(s) inserted" in shell.execute("Insert Into r Values (2)")

@@ -1,0 +1,41 @@
+"""Property tests: condition rendering and reparsing are inverses."""
+
+from hypothesis import given, settings
+
+from repro.algebra.conditions import parse_condition
+
+from tests.strategies import conditions, conjunctions
+
+
+class TestRoundTrip:
+    @settings(max_examples=300, deadline=None)
+    @given(conditions(max_disjuncts=3, max_atoms=4))
+    def test_str_reparses_to_equal_condition(self, condition):
+        """str() output is valid parser input producing the same DNF.
+
+        Atom canonicalization makes this exact: both sides normalize
+        offsets and constant placement identically.
+        """
+        rendered = str(condition)
+        reparsed = parse_condition(rendered)
+        assert reparsed == condition
+
+    @settings(max_examples=300, deadline=None)
+    @given(conjunctions(max_atoms=4))
+    def test_conjunction_atoms_round_trip(self, conjunction):
+        if not conjunction.atoms:
+            return  # "true" parses to an empty-disjunct condition
+        rendered = " and ".join(str(a) for a in conjunction.atoms)
+        reparsed = parse_condition(rendered)
+        assert reparsed.disjuncts[0].atoms == conjunction.atoms
+
+    @settings(max_examples=200, deadline=None)
+    @given(conditions(max_disjuncts=2, max_atoms=3))
+    def test_round_trip_preserves_semantics(self, condition):
+        """Even if syntax differed, evaluation must not."""
+        reparsed = parse_condition(str(condition))
+        variables = sorted(condition.variables() | reparsed.variables())
+        # Spot-check a small grid of assignments.
+        for base in range(-3, 4):
+            env = {v: base + i for i, v in enumerate(variables)}
+            assert condition.evaluate(env) == reparsed.evaluate(env)

@@ -1,0 +1,214 @@
+"""Unit tests for the condition language (atoms, conjunctions, DNF)."""
+
+import pytest
+
+from repro.algebra.conditions import (
+    TRUE,
+    Atom,
+    Condition,
+    Conjunction,
+    Const,
+    Var,
+)
+from repro.errors import ConditionError
+
+
+class TestTerms:
+    def test_var_requires_name(self):
+        with pytest.raises(ConditionError):
+            Var("")
+
+    def test_const_requires_int(self):
+        with pytest.raises(ConditionError):
+            Const("5")
+        with pytest.raises(ConditionError):
+            Const(True)
+
+    def test_term_equality(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+        assert Const(3) == Const(3)
+        assert Var("x") != Const(3)
+
+
+class TestAtomCanonicalization:
+    def test_offset_folds_into_const_right(self):
+        a = Atom("A", "<", 10, offset=2)  # A < 10 + 2
+        assert isinstance(a.right, Const)
+        assert a.right.value == 12
+        assert a.offset == 0
+
+    def test_const_left_mirrors(self):
+        a = Atom(5, "<", "A")  # 5 < A  ->  A > 5
+        assert isinstance(a.left, Var) and a.left.name == "A"
+        assert a.op == ">"
+        assert a.right == Const(5)
+
+    def test_const_left_mirror_with_offset(self):
+        a = Atom(5, "<=", "A", offset=3)  # 5 <= A + 3  ->  A >= 2
+        assert a.op == ">="
+        assert a.right == Const(2)
+
+    def test_equality_mirror(self):
+        a = Atom(7, "=", "A")
+        assert a.op == "="
+        assert a.left == Var("A")
+        assert a.right == Const(7)
+
+    def test_not_equals_rejected(self):
+        with pytest.raises(ConditionError):
+            Atom("A", "!=", "B")
+        with pytest.raises(ConditionError):
+            Atom("A", "<>", 3)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ConditionError):
+            Atom("A", "~", "B")
+
+    def test_non_integer_offset_rejected(self):
+        with pytest.raises(ConditionError):
+            Atom("A", "<", "B", offset=1.5)
+
+    def test_str_rendering(self):
+        assert str(Atom("A", "<=", "B", 3)) == "A <= B + 3"
+        assert str(Atom("A", ">=", "B", -2)) == "A >= B - 2"
+        assert str(Atom("A", "<", 10)) == "A < 10"
+
+
+class TestAtomShapes:
+    def test_ground(self):
+        a = Atom(3, "<", 5)
+        assert a.is_ground()
+        assert a.truth_value() is True
+        assert not Atom(5, "<", 3).truth_value()
+
+    def test_truth_value_requires_ground(self):
+        with pytest.raises(ConditionError):
+            Atom("A", "<", 5).truth_value()
+
+    def test_single_variable(self):
+        a = Atom("A", "<", 10)
+        assert a.is_single_variable()
+        assert not a.is_ground() and not a.is_two_variable()
+
+    def test_two_variable(self):
+        assert Atom("A", "=", "B").is_two_variable()
+
+    def test_variables(self):
+        assert Atom("A", "<", "B", 1).variables() == {"A", "B"}
+        assert Atom("A", "<", 5).variables() == {"A"}
+        assert Atom(1, "<", 5).variables() == frozenset()
+
+
+class TestAtomEvaluation:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("<", True), (">", False), ("<=", True), (">=", False)],
+    )
+    def test_operators(self, op, expected):
+        assert Atom("x", op, "y").evaluate({"x": 1, "y": 2}) is expected
+
+    def test_offset_applies_to_right(self):
+        # x <= y + 3 with x=5, y=2  ->  5 <= 5  True
+        assert Atom("x", "<=", "y", 3).evaluate({"x": 5, "y": 2})
+        assert not Atom("x", "<=", "y", 2).evaluate({"x": 5, "y": 2})
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(ConditionError):
+            Atom("x", "<", "y").evaluate({"x": 1})
+
+    def test_substitute_partial(self):
+        a = Atom("x", "<", "y", 2).substitute({"x": 5})
+        assert a.is_single_variable()
+        # 5 < y + 2  mirrors to  y > 3
+        assert a.left == Var("y")
+        assert a.op == ">"
+        assert a.right == Const(3)
+
+    def test_substitute_full_makes_ground(self):
+        a = Atom("x", "=", "y").substitute({"x": 5, "y": 5})
+        assert a.is_ground() and a.truth_value()
+
+    def test_substitute_unmentioned_is_noop(self):
+        a = Atom("x", "<", "y")
+        assert a.substitute({"z": 1}) == a
+
+
+class TestConjunction:
+    def test_empty_is_true(self):
+        assert Conjunction().evaluate({}) is True
+
+    def test_evaluate_all(self):
+        c = Conjunction([Atom("x", "<", 10), Atom("x", ">", 0)])
+        assert c.evaluate({"x": 5})
+        assert not c.evaluate({"x": 11})
+
+    def test_variables(self):
+        c = Conjunction([Atom("x", "<", "y"), Atom("z", ">", 0)])
+        assert c.variables() == {"x", "y", "z"}
+
+    def test_substitute(self):
+        c = Conjunction([Atom("x", "<", "y")]).substitute({"y": 7})
+        assert c.atoms[0] == Atom("x", "<", 7)
+
+    def test_non_atom_member_rejected(self):
+        with pytest.raises(ConditionError):
+            Conjunction(["x < 5"])
+
+    def test_str(self):
+        assert str(Conjunction()) == "true"
+
+
+class TestCondition:
+    def test_true_false(self):
+        assert TRUE.is_true()
+        assert Condition.false().is_false()
+        assert TRUE.evaluate({})
+        assert not Condition.false().evaluate({})
+
+    def test_dnf_evaluation(self):
+        c = Condition.coerce("x < 0 or x > 10")
+        assert c.evaluate({"x": -1})
+        assert c.evaluate({"x": 11})
+        assert not c.evaluate({"x": 5})
+
+    def test_conjoin_distributes(self):
+        c = Condition.coerce("x < 0 or x > 10").conjoin(
+            Condition.coerce("y = 1 or y = 2")
+        )
+        assert len(c.disjuncts) == 4
+
+    def test_disjoin_concatenates(self):
+        c = Condition.coerce("x < 0").disjoin(Condition.coerce("x > 10"))
+        assert len(c.disjuncts) == 2
+
+    def test_operators(self):
+        a = Condition.coerce("x < 0")
+        b = Condition.coerce("y > 0")
+        assert len((a & b).disjuncts) == 1
+        assert len((a | b).disjuncts) == 2
+
+    def test_coerce_shapes(self):
+        assert Condition.coerce(Atom("x", "<", 1)).disjuncts[0].atoms[0] == Atom(
+            "x", "<", 1
+        )
+        assert Condition.coerce([Atom("x", "<", 1)]).variables() == {"x"}
+        assert Condition.coerce(Conjunction([Atom("x", "<", 1)])).variables() == {"x"}
+        c = Condition.coerce("x < 1")
+        assert Condition.coerce(c) is c
+
+    def test_coerce_garbage_rejected(self):
+        with pytest.raises(ConditionError):
+            Condition.coerce(3.14)
+
+    def test_substitute_goes_through_all_disjuncts(self):
+        c = Condition.coerce("x < y or x > y + 5").substitute({"y": 0})
+        assert all("y" not in d.variables() for d in c.disjuncts)
+
+    def test_variables_across_disjuncts(self):
+        assert Condition.coerce("x < 1 or y > 2").variables() == {"x", "y"}
+
+    def test_str_shapes(self):
+        assert str(Condition.false()) == "false"
+        assert str(Condition.coerce("x < 1")) == "x < 1"
+        assert "or" in str(Condition.coerce("x < 1 or y > 2"))

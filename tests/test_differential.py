@@ -1,0 +1,185 @@
+"""Unit tests for differential view-delta computation (Section 5)."""
+
+import pytest
+
+from repro.algebra.conditions import Condition
+from repro.algebra.expressions import BaseRef, to_normal_form
+from repro.algebra.relation import Delta, Relation
+from repro.algebra.schema import RelationSchema
+from repro.core.differential import (
+    compute_view_delta,
+    project_view_delta,
+    select_view_delta,
+)
+from repro.errors import MaintenanceError
+
+
+@pytest.fixture
+def catalog():
+    return {
+        "r": RelationSchema(["A", "B"]),
+        "s": RelationSchema(["B", "C"]),
+    }
+
+
+def _instances(catalog, r_rows, s_rows):
+    return {
+        "r": Relation.from_rows(catalog["r"], r_rows),
+        "s": Relation.from_rows(catalog["s"], s_rows),
+    }
+
+
+class TestSelectViewDelta:
+    """Section 5.1: v' = v ∪ σ_C(i_r) − σ_C(d_r)."""
+
+    def test_filters_both_sides(self, catalog):
+        delta = Delta(
+            catalog["r"],
+            inserted=[(1, 5), (1, 50)],
+            deleted=[(2, 7), (2, 70)],
+        )
+        out = select_view_delta(Condition.coerce("B < 10"), delta)
+        assert set(out.inserted) == {(1, 5)}
+        assert set(out.deleted) == {(2, 7)}
+
+    def test_needs_no_base_state(self, catalog):
+        # The function signature itself proves the point: no relation
+        # contents are passed, exactly as the paper observes.
+        delta = Delta(catalog["r"], inserted=[(1, 5)])
+        out = select_view_delta(Condition.true(), delta)
+        assert set(out.inserted) == {(1, 5)}
+
+
+class TestProjectViewDelta:
+    """Section 5.2: counted projection of a delta."""
+
+    def test_aggregates_counts(self, catalog):
+        delta = Delta(catalog["r"], inserted=[(1, 10), (2, 10)], deleted=[(3, 20)])
+        out = project_view_delta(["B"], delta)
+        assert out.inserted == {(10,): 2}
+        assert out.deleted == {(20,): 1}
+
+    def test_cancellation_to_net_counts(self, catalog):
+        # +2 and −1 on the same projected tuple nets to +1.
+        delta = Delta(
+            catalog["r"], inserted=[(1, 10), (2, 10)], deleted=[(3, 10)]
+        )
+        out = project_view_delta(["B"], delta)
+        assert out.inserted == {(10,): 1}
+        assert out.deleted == {}
+
+    def test_exact_cancellation(self, catalog):
+        delta = Delta(catalog["r"], inserted=[(1, 10)], deleted=[(3, 10)])
+        assert project_view_delta(["B"], delta).is_empty()
+
+
+class TestComputeViewDelta:
+    def test_join_insert_only(self, catalog):
+        """Example 5.2: v' = v ∪ (i_r ⋈ s)."""
+        expr = BaseRef("r").join(BaseRef("s"))
+        nf = to_normal_form(expr, catalog)
+        # Post-state: r already contains the inserted tuple.
+        instances = _instances(
+            catalog, [(1, 10), (9, 20)], [(10, 100), (20, 200)]
+        )
+        deltas = {"r": Delta(catalog["r"], inserted=[(9, 20)])}
+        out = compute_view_delta(nf, instances, deltas)
+        assert out.inserted == {(9, 20, 200): 1}
+        assert out.deleted == {}
+
+    def test_join_delete_only(self, catalog):
+        """Example 5.3: v' = v − (d_r ⋈ s)."""
+        expr = BaseRef("r").join(BaseRef("s"))
+        nf = to_normal_form(expr, catalog)
+        # Post-state: r no longer contains the deleted tuple.
+        instances = _instances(catalog, [(1, 10)], [(10, 100), (20, 200)])
+        deltas = {"r": Delta(catalog["r"], deleted=[(9, 20)])}
+        out = compute_view_delta(nf, instances, deltas)
+        assert out.deleted == {(9, 20, 200): 1}
+        assert out.inserted == {}
+
+    def test_mixed_insert_delete_both_relations(self, catalog):
+        """Example 5.4's six cases, verified against set algebra."""
+        expr = BaseRef("r").join(BaseRef("s"))
+        nf = to_normal_form(expr, catalog)
+        r_before = [(1, 10), (2, 20)]
+        s_before = [(10, 1), (20, 2)]
+        r_delta = Delta(catalog["r"], inserted=[(3, 30)], deleted=[(1, 10)])
+        s_delta = Delta(catalog["s"], inserted=[(30, 3)], deleted=[(10, 1)])
+        # Build post-state.
+        r_after = [(2, 20), (3, 30)]
+        s_after = [(20, 2), (30, 3)]
+        instances = _instances(catalog, r_after, s_after)
+        out = compute_view_delta(nf, instances, {"r": r_delta, "s": s_delta})
+        # Old view: {(1,10,1), (2,20,2)}; new view: {(2,20,2), (3,30,3)}.
+        assert out.inserted == {(3, 30, 3): 1}
+        assert out.deleted == {(1, 10, 1): 1}
+
+    def test_insert_joining_deleted_tuple_is_ignored(self, catalog):
+        """i_r ⋈ d_s must not emerge (tag table row 2)."""
+        expr = BaseRef("r").join(BaseRef("s"))
+        nf = to_normal_form(expr, catalog)
+        # Insert (1,10) into r while deleting (10,1) from s.
+        instances = _instances(catalog, [(1, 10)], [])
+        deltas = {
+            "r": Delta(catalog["r"], inserted=[(1, 10)]),
+            "s": Delta(catalog["s"], deleted=[(10, 1)]),
+        }
+        out = compute_view_delta(nf, instances, deltas)
+        assert out.is_empty()
+
+    def test_empty_deltas_give_empty_view_delta(self, catalog):
+        nf = to_normal_form(BaseRef("r").join(BaseRef("s")), catalog)
+        instances = _instances(catalog, [(1, 10)], [(10, 1)])
+        out = compute_view_delta(nf, instances, {})
+        assert out.is_empty()
+
+    def test_missing_post_state_raises(self, catalog):
+        nf = to_normal_form(BaseRef("r").join(BaseRef("s")), catalog)
+        deltas = {"r": Delta(catalog["r"], inserted=[(1, 10)])}
+        with pytest.raises(MaintenanceError):
+            compute_view_delta(nf, {"r": Relation(catalog["r"])}, deltas)
+
+    def test_spj_example_55(self, catalog):
+        """Example 5.5: V = π_A(σ_{C>10}(r ⋈ s)), insertion into r."""
+        expr = BaseRef("r").join(BaseRef("s")).select("C > 10").project(["A"])
+        nf = to_normal_form(expr, catalog)
+        instances = _instances(
+            catalog, [(1, 10), (9, 20)], [(10, 5), (20, 50)]
+        )
+        deltas = {"r": Delta(catalog["r"], inserted=[(9, 20)])}
+        out = compute_view_delta(nf, instances, deltas)
+        # (9,20) joins (20,50): C = 50 > 10, projects to A = 9.
+        assert out.inserted == {(9,): 1}
+
+    def test_delta_on_unrelated_relation_ignored(self, catalog):
+        nf = to_normal_form(BaseRef("r"), catalog)
+        other_schema = RelationSchema(["Z"])
+        instances = {"r": Relation.from_rows(catalog["r"], [(1, 2)])}
+        deltas = {"other": Delta(other_schema, inserted=[(1,)])}
+        out = compute_view_delta(nf, instances, deltas)
+        assert out.is_empty()
+
+    def test_sharing_flag_does_not_change_result(self, catalog):
+        expr = BaseRef("r").join(BaseRef("s")).project(["A", "C"])
+        nf = to_normal_form(expr, catalog)
+        instances = _instances(
+            catalog,
+            [(i, i % 4) for i in range(8)],
+            [(i % 4, i) for i in range(8)],
+        )
+        deltas = {
+            "r": Delta(catalog["r"], inserted=[(100, 0)], deleted=[(1, 1)]),
+            "s": Delta(catalog["s"], inserted=[(0, 200)]),
+        }
+        # Post-state must include the delta.
+        instances["r"].add((100, 0))
+        instances["r"].discard((1, 1))
+        instances["s"].add((0, 200))
+        with_sharing = compute_view_delta(
+            nf, instances, deltas, share_subexpressions=True
+        )
+        without = compute_view_delta(
+            nf, instances, deltas, share_subexpressions=False
+        )
+        assert with_sharing == without

@@ -1,0 +1,110 @@
+"""Unit tests for attribute domains."""
+
+import pytest
+
+from repro.algebra.domains import (
+    INTEGERS,
+    FiniteDomain,
+    IntegerDomain,
+    StringDomain,
+)
+from repro.errors import DomainError
+
+
+class TestIntegerDomain:
+    def test_contains_integers(self):
+        assert INTEGERS.contains(0)
+        assert INTEGERS.contains(-1_000_000)
+        assert INTEGERS.contains(1_000_000)
+
+    def test_rejects_bools(self):
+        # bool is a subclass of int in Python; the paper's domains are
+        # numeric, so True/False must not sneak in as 1/0.
+        assert not INTEGERS.contains(True)
+        assert not INTEGERS.contains(False)
+
+    def test_rejects_non_integers(self):
+        assert not INTEGERS.contains(1.5)
+        assert not INTEGERS.contains("7")
+        assert not INTEGERS.contains(None)
+
+    def test_encode_decode_roundtrip(self):
+        for v in (-3, 0, 42):
+            assert INTEGERS.decode(INTEGERS.encode(v)) == v
+
+    def test_validate_raises_on_bad_value(self):
+        with pytest.raises(DomainError):
+            INTEGERS.validate("not an int")
+
+    def test_sample_values_enumerates_fairly(self):
+        it = INTEGERS.sample_values()
+        first = [next(it) for _ in range(5)]
+        assert first == [0, 1, -1, 2, -2]
+
+    def test_equality_and_hash(self):
+        assert IntegerDomain() == IntegerDomain()
+        assert hash(IntegerDomain()) == hash(IntegerDomain())
+
+
+class TestFiniteDomain:
+    def test_bounds_inclusive(self):
+        d = FiniteDomain(2, 4)
+        assert d.contains(2) and d.contains(4)
+        assert not d.contains(1) and not d.contains(5)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(DomainError):
+            FiniteDomain(5, 2)
+
+    def test_len_and_samples(self):
+        d = FiniteDomain(-1, 1)
+        assert len(d) == 3
+        assert list(d.sample_values()) == [-1, 0, 1]
+
+    def test_rejects_bool(self):
+        assert not FiniteDomain(0, 1).contains(True)
+
+    def test_equality(self):
+        assert FiniteDomain(0, 5) == FiniteDomain(0, 5)
+        assert FiniteDomain(0, 5) != FiniteDomain(0, 6)
+        assert FiniteDomain(0, 5) != IntegerDomain()
+
+
+class TestStringDomain:
+    def test_encodes_labels_by_position(self):
+        d = StringDomain(["low", "mid", "high"])
+        assert d.encode("low") == 0
+        assert d.encode("high") == 2
+        assert d.decode(1) == "mid"
+
+    def test_contains(self):
+        d = StringDomain(["a", "b"])
+        assert d.contains("a")
+        assert not d.contains("c")
+        assert not d.contains(0)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(DomainError):
+            StringDomain(["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            StringDomain([])
+
+    def test_encode_unknown_label_raises(self):
+        with pytest.raises(DomainError):
+            StringDomain(["a"]).encode("z")
+
+    def test_decode_out_of_range_raises(self):
+        with pytest.raises(DomainError):
+            StringDomain(["a"]).decode(5)
+
+    def test_validate_roundtrip(self):
+        d = StringDomain(["pending", "shipped"])
+        assert d.decode(d.validate("shipped")) == "shipped"
+
+    def test_order_follows_enumeration(self):
+        # Comparisons on encodings follow constructor order — the
+        # paper's "mapped to a subset of natural numbers" convention.
+        d = StringDomain(["jan", "feb", "mar"])
+        assert d.encode("jan") < d.encode("feb") < d.encode("mar")

@@ -1,0 +1,144 @@
+"""Unit tests for the SPJ expression AST."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    BaseRef,
+    Join,
+    Product,
+    Project,
+    Rename,
+    Select,
+)
+from repro.algebra.schema import RelationSchema
+from repro.errors import ExpressionError
+
+
+@pytest.fixture
+def catalog():
+    return {
+        "r": RelationSchema(["A", "B"]),
+        "s": RelationSchema(["B", "C"]),
+        "t": RelationSchema(["D", "E"]),
+    }
+
+
+class TestBaseRef:
+    def test_schema_lookup(self, catalog):
+        assert BaseRef("r").schema(catalog).names == ("A", "B")
+
+    def test_unknown_relation(self, catalog):
+        with pytest.raises(ExpressionError):
+            BaseRef("zzz").schema(catalog)
+
+    def test_invalid_name(self):
+        with pytest.raises(ExpressionError):
+            BaseRef("")
+
+    def test_base_names(self):
+        assert BaseRef("r").base_names() == ("r",)
+
+
+class TestSelect:
+    def test_schema_passthrough(self, catalog):
+        e = Select(BaseRef("r"), "A < 5")
+        assert e.schema(catalog).names == ("A", "B")
+
+    def test_unknown_attribute_in_condition(self, catalog):
+        with pytest.raises(ExpressionError):
+            Select(BaseRef("r"), "Z < 5").schema(catalog)
+
+    def test_condition_coercion_from_string(self, catalog):
+        e = BaseRef("r").select("A < 5 or B > 2")
+        assert len(e.condition.disjuncts) == 2
+
+    def test_operand_must_be_expression(self):
+        with pytest.raises(ExpressionError):
+            Select("r", "A < 5")
+
+
+class TestProject:
+    def test_schema(self, catalog):
+        e = Project(BaseRef("r"), ["B"])
+        assert e.schema(catalog).names == ("B",)
+
+    def test_missing_attribute(self, catalog):
+        with pytest.raises(ExpressionError):
+            Project(BaseRef("r"), ["Z"]).schema(catalog)
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(ExpressionError):
+            Project(BaseRef("r"), [])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ExpressionError):
+            Project(BaseRef("r"), ["A", "A"])
+
+    def test_order_preserved(self, catalog):
+        e = Project(BaseRef("r"), ["B", "A"])
+        assert e.schema(catalog).names == ("B", "A")
+
+
+class TestJoinProduct:
+    def test_natural_join_schema(self, catalog):
+        e = Join(BaseRef("r"), BaseRef("s"))
+        assert e.schema(catalog).names == ("A", "B", "C")
+
+    def test_product_schema(self, catalog):
+        e = Product(BaseRef("r"), BaseRef("t"))
+        assert e.schema(catalog).names == ("A", "B", "D", "E")
+
+    def test_product_shared_names_rejected(self, catalog):
+        with pytest.raises(ExpressionError):
+            Product(BaseRef("r"), BaseRef("s")).schema(catalog)
+
+    def test_base_names_with_repetition(self, catalog):
+        e = Join(BaseRef("r"), Join(BaseRef("s"), BaseRef("r")))
+        assert e.base_names() == ("r", "s", "r")
+
+    def test_walk_preorder(self, catalog):
+        e = Select(Join(BaseRef("r"), BaseRef("s")), "A < 5")
+        kinds = [type(n).__name__ for n in e.walk()]
+        assert kinds == ["Select", "Join", "BaseRef", "BaseRef"]
+
+
+class TestRename:
+    def test_schema(self, catalog):
+        e = Rename(BaseRef("r"), {"A": "X"})
+        assert e.schema(catalog).names == ("X", "B")
+
+    def test_missing_attribute(self, catalog):
+        with pytest.raises(ExpressionError):
+            Rename(BaseRef("r"), {"Z": "X"}).schema(catalog)
+
+    def test_collision_rejected(self, catalog):
+        with pytest.raises(ExpressionError):
+            Rename(BaseRef("r"), {"A": "B"}).schema(catalog)
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ExpressionError):
+            Rename(BaseRef("r"), {})
+
+    def test_enables_self_join(self, catalog):
+        e = Join(BaseRef("r"), Rename(BaseRef("r"), {"A": "A2", "B": "B2"}))
+        # No shared names: degenerates to a product-like join schema.
+        assert e.schema(catalog).names == ("A", "B", "A2", "B2")
+
+
+class TestFluentApi:
+    def test_chaining(self, catalog):
+        e = (
+            BaseRef("r")
+            .join(BaseRef("s"))
+            .select("A < 5")
+            .project(["A", "C"])
+        )
+        assert e.schema(catalog).names == ("A", "C")
+
+    def test_rename_fluent(self, catalog):
+        e = BaseRef("r").rename({"A": "X"})
+        assert e.schema(catalog).names == ("X", "B")
+
+    def test_str_is_readable(self):
+        e = BaseRef("r").select("A < 5").project(["A"])
+        assert "project" in str(e) and "select" in str(e)

@@ -1,0 +1,136 @@
+"""Failure-injection tests: what breaks, and how loudly.
+
+The engine's contract under failing components is deliberately simple
+and these tests pin it down:
+
+* a transaction that raises before commit aborts cleanly;
+* a commit hook that raises propagates *after* the base relations and
+  earlier hooks have applied — commits are not rolled back by observer
+  failures (observers are derived state; the log remains authoritative);
+* a corrupted view is caught by ``auto_verify`` / ``check_view_consistency``
+  with a precise report, and the exception names the view;
+* maintenance keeps working after an observer failure.
+"""
+
+import pytest
+
+from repro.algebra.expressions import BaseRef
+from repro.core.consistency import check_view_consistency
+from repro.core.maintainer import ViewMaintainer
+from repro.engine.database import Database
+from repro.errors import MaintenanceError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_relation("r", ["A", "B"], [(1, 1)])
+    return database
+
+
+class TestHookFailures:
+    def test_hook_exception_propagates_but_commit_stands(self, db):
+        def bad_hook(txn_id, deltas):
+            raise RuntimeError("observer crashed")
+
+        db.add_commit_hook(bad_hook)
+        with pytest.raises(RuntimeError):
+            with db.transact() as txn:
+                txn.insert("r", (2, 2))
+        # The base relation kept the committed row: observers cannot
+        # veto a commit.
+        assert (2, 2) in db.relation("r")
+        # The log recorded it too.
+        assert db.log.last_sequence() == 1
+
+    def test_earlier_hooks_complete_before_failure(self, db):
+        seen = []
+        db.add_commit_hook(lambda txn_id, deltas: seen.append("first"))
+        db.add_commit_hook(
+            lambda txn_id, deltas: (_ for _ in ()).throw(RuntimeError())
+        )
+        db.add_commit_hook(lambda txn_id, deltas: seen.append("third"))
+        with pytest.raises(RuntimeError):
+            with db.transact() as txn:
+                txn.insert("r", (2, 2))
+        assert seen == ["first"]
+
+    def test_maintainer_view_stays_consistent_despite_later_hook_failure(self, db):
+        maintainer = ViewMaintainer(db)  # registered first: runs first
+        view = maintainer.define_view("v", BaseRef("r"))
+
+        def bad_hook(txn_id, deltas):
+            raise RuntimeError("later observer crashed")
+
+        db.add_commit_hook(bad_hook)
+        with pytest.raises(RuntimeError):
+            with db.transact() as txn:
+                txn.insert("r", (2, 2))
+        # The maintainer ran before the failing hook: the view tracked
+        # the commit and stays consistent.
+        check_view_consistency(view, db.instances())
+        assert (2, 2) in view.contents
+
+    def test_maintenance_resumes_after_observer_removal(self, db):
+        maintainer = ViewMaintainer(db)
+        view = maintainer.define_view("v", BaseRef("r"))
+
+        def bad_hook(txn_id, deltas):
+            raise RuntimeError
+
+        db.add_commit_hook(bad_hook)
+        with pytest.raises(RuntimeError):
+            with db.transact() as txn:
+                txn.insert("r", (2, 2))
+        db.remove_commit_hook(bad_hook)
+        with db.transact() as txn:
+            txn.insert("r", (3, 3))
+        assert (3, 3) in view.contents
+        check_view_consistency(view, db.instances())
+
+
+class TestCorruptionDetection:
+    def test_auto_verify_names_the_view(self, db):
+        maintainer = ViewMaintainer(db, auto_verify=True)
+        view = maintainer.define_view("watched", BaseRef("r"))
+        view.contents.add((99, 99))
+        with pytest.raises(MaintenanceError, match="watched"):
+            with db.transact() as txn:
+                txn.insert("r", (2, 2))
+
+    def test_verify_failure_leaves_commit_applied(self, db):
+        maintainer = ViewMaintainer(db, auto_verify=True)
+        view = maintainer.define_view("v", BaseRef("r"))
+        view.contents.add((99, 99))
+        with pytest.raises(MaintenanceError):
+            with db.transact() as txn:
+                txn.insert("r", (2, 2))
+        assert (2, 2) in db.relation("r")
+
+    def test_report_pinpoints_the_difference(self, db):
+        maintainer = ViewMaintainer(db)
+        view = maintainer.define_view("v", BaseRef("r"))
+        view.contents.add((99, 99))
+        view.contents.discard((1, 1))
+        report = check_view_consistency(
+            view, db.instances(), raise_on_mismatch=False
+        )
+        assert report.unexpected == {(99, 99): 1}
+        assert report.missing == {(1, 1): 1}
+
+
+class TestSubscriberFailures:
+    def test_subscriber_exception_propagates_after_view_update(self, db):
+        maintainer = ViewMaintainer(db)
+        view = maintainer.define_view("v", BaseRef("r"))
+
+        def bad_subscriber(view, delta):
+            raise RuntimeError("alerter crashed")
+
+        maintainer.subscribe("v", bad_subscriber)
+        with pytest.raises(RuntimeError):
+            with db.transact() as txn:
+                txn.insert("r", (2, 2))
+        # The view delta had already been applied.
+        assert (2, 2) in view.contents
+        check_view_consistency(view, db.instances())

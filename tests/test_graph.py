@@ -1,0 +1,171 @@
+"""Unit tests for the Rosenkrantz–Hunt constraint graph."""
+
+import pytest
+
+from repro.algebra.conditions import Atom
+from repro.core.graph import ZERO, ConstraintGraph
+from repro.errors import ConditionError
+
+
+class TestEdgeTranslation:
+    def test_le_two_var(self):
+        g = ConstraintGraph()
+        g.add_atom(Atom("x", "<=", "y", 3))
+        assert g.edges() == {("x", "y"): 3}
+
+    def test_ge_two_var(self):
+        # x >= y + c  ==  y <= x - c  ->  edge (y, x, -c)
+        g = ConstraintGraph()
+        g.add_atom(Atom("x", ">=", "y", 3))
+        assert g.edges() == {("y", "x"): -3}
+
+    def test_upper_bound_via_zero(self):
+        g = ConstraintGraph()
+        g.add_atom(Atom("x", "<=", 7))
+        assert g.edges() == {("x", ZERO): 7}
+
+    def test_lower_bound_via_zero(self):
+        g = ConstraintGraph()
+        g.add_atom(Atom("x", ">=", 7))
+        assert g.edges() == {(ZERO, "x"): -7}
+
+    def test_parallel_edges_keep_tightest(self):
+        g = ConstraintGraph()
+        g.add_atom(Atom("x", "<=", "y", 5))
+        g.add_atom(Atom("x", "<=", "y", 2))
+        g.add_atom(Atom("x", "<=", "y", 9))
+        assert g.edges() == {("x", "y"): 2}
+
+    def test_strict_operator_rejected(self):
+        g = ConstraintGraph()
+        with pytest.raises(ConditionError):
+            g.add_atom(Atom("x", "<", "y"))
+
+    def test_ground_atom_rejected(self):
+        g = ConstraintGraph()
+        with pytest.raises(ConditionError):
+            g.add_atom(Atom(1, "<=", 2))
+
+    def test_from_atoms_with_extra_nodes(self):
+        g = ConstraintGraph.from_atoms([Atom("x", "<=", "y")], nodes=["z"])
+        assert {"x", "y", "z", ZERO} <= g.nodes()
+
+
+class TestNegativeCycles:
+    def _graph(self, *atoms):
+        return ConstraintGraph.from_atoms(list(atoms))
+
+    def test_satisfiable_chain(self):
+        g = self._graph(Atom("x", "<=", "y"), Atom("y", "<=", "z"))
+        assert not g.has_negative_cycle("floyd")
+        assert not g.has_negative_cycle("bellman")
+
+    def test_contradictory_pair(self):
+        # x <= y - 1 and y <= x - 1: cycle weight -2.
+        g = self._graph(Atom("x", "<=", "y", -1), Atom("y", "<=", "x", -1))
+        assert g.has_negative_cycle("floyd")
+        assert g.has_negative_cycle("bellman")
+
+    def test_zero_weight_cycle_is_fine(self):
+        # x <= y and y <= x: consistent (x = y).
+        g = self._graph(Atom("x", "<=", "y"), Atom("y", "<=", "x"))
+        assert not g.has_negative_cycle("floyd")
+        assert not g.has_negative_cycle("bellman")
+
+    def test_bounds_conflict_through_zero(self):
+        # x <= 3 and x >= 5: cycle through ZERO of weight -2.
+        g = self._graph(Atom("x", "<=", 3), Atom("x", ">=", 5))
+        assert g.has_negative_cycle("floyd")
+        assert g.has_negative_cycle("bellman")
+
+    def test_long_cycle(self):
+        atoms = [
+            Atom("a", "<=", "b"),
+            Atom("b", "<=", "c"),
+            Atom("c", "<=", "d"),
+            Atom("d", "<=", "a", -1),
+        ]
+        g = self._graph(*atoms)
+        assert g.has_negative_cycle("floyd")
+        assert g.has_negative_cycle("bellman")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            ConstraintGraph().has_negative_cycle("dijkstra")
+
+    def test_floyd_and_bellman_agree_on_random_graphs(self):
+        import random
+
+        rng = random.Random(13)
+        names = ["a", "b", "c", "d", "e"]
+        for _ in range(100):
+            g = ConstraintGraph()
+            for _ in range(rng.randint(1, 10)):
+                u, v = rng.sample(names, 2)
+                g.add_edge(u, v, rng.randint(-3, 3))
+            assert g.has_negative_cycle("floyd") == g.has_negative_cycle("bellman")
+
+
+class TestFloydWarshall:
+    def test_distances(self):
+        g = ConstraintGraph.from_atoms(
+            [Atom("x", "<=", "y", 2), Atom("y", "<=", "z", 3)]
+        )
+        dist, negative = g.floyd_warshall()
+        assert not negative
+        assert dist["x"]["z"] == 5
+        assert dist["z"]["x"] == float("inf")
+        assert dist["x"]["x"] == 0
+
+
+class TestSolve:
+    def test_solution_satisfies_edges(self):
+        g = ConstraintGraph.from_atoms(
+            [
+                Atom("x", "<=", "y", -1),  # x <= y - 1
+                Atom("y", "<=", 4),
+                Atom("x", ">=", -2),
+            ]
+        )
+        sol = g.solve()
+        assert sol is not None
+        assert sol["x"] <= sol["y"] - 1
+        assert sol["y"] <= 4
+        assert sol["x"] >= -2
+
+    def test_unsatisfiable_returns_none(self):
+        g = ConstraintGraph.from_atoms([Atom("x", "<=", 3), Atom("x", ">=", 5)])
+        assert g.solve() is None
+
+    def test_solution_pins_zero_node(self):
+        # A pure bound: x >= 7. Solution must respect it, which only
+        # works if ZERO is pinned to 0.
+        g = ConstraintGraph.from_atoms([Atom("x", ">=", 7)])
+        sol = g.solve()
+        assert sol is not None and sol["x"] >= 7
+
+    def test_unconstrained_nodes_get_values(self):
+        g = ConstraintGraph(nodes=["lonely"])
+        sol = g.solve()
+        assert sol == {"lonely": 0}
+
+    def test_random_solve_agrees_with_cycle_test(self):
+        import random
+
+        rng = random.Random(29)
+        names = ["a", "b", "c", "d"]
+        for _ in range(100):
+            g = ConstraintGraph()
+            for _ in range(rng.randint(1, 8)):
+                u, v = rng.sample(names + [ZERO], 2)
+                g.add_edge(u, v, rng.randint(-3, 3))
+            sol = g.solve()
+            if g.has_negative_cycle("bellman"):
+                assert sol is None
+            else:
+                assert sol is not None
+                # Verify every edge constraint u - v <= w.
+                full = dict(sol)
+                full[ZERO] = 0
+                for (u, v), w in g.edges().items():
+                    assert full[u] - full[v] <= w

@@ -1,0 +1,161 @@
+"""Unit and property tests for condition implication and minimization."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra.conditions import Atom, Conjunction, parse_condition
+from repro.core.implication import (
+    conjunctions_equivalent,
+    implies,
+    minimize_condition,
+    minimize_conjunction,
+    negate_atom,
+)
+from repro.core.satisfiability import brute_force_satisfiable
+from repro.errors import ConditionError
+
+from tests.strategies import small_conjunctions, solution_box
+
+
+def _conj(text):
+    return parse_condition(text).disjuncts[0]
+
+
+class TestNegateAtom:
+    @pytest.mark.parametrize(
+        "op,offset",
+        [("<=", 0), (">=", 2), ("<", -1), (">", 3), ("=", 0), ("=", -2)],
+    )
+    def test_negation_is_exact_complement(self, op, offset):
+        atom = Atom("x", op, "y", offset)
+        negated = negate_atom(atom)
+        for x in range(-8, 9):
+            for y in range(-8, 9):
+                env = {"x": x, "y": y}
+                assert atom.evaluate(env) != any(
+                    n.evaluate(env) for n in negated
+                )
+
+    def test_single_variable(self):
+        (n,) = negate_atom(Atom("x", "<", 10))
+        assert str(n) == "x >= 10"
+
+    def test_ground_rejected(self):
+        with pytest.raises(ConditionError):
+            negate_atom(Atom(1, "<", 2))
+
+
+class TestImplies:
+    def test_transitive_chain(self):
+        conj = _conj("x <= y and y <= z")
+        assert implies(conj, Atom("x", "<=", "z"))
+        assert not implies(conj, Atom("z", "<=", "x"))
+
+    def test_bound_tightening(self):
+        conj = _conj("x <= 3")
+        assert implies(conj, Atom("x", "<", 10))
+        assert implies(conj, Atom("x", "<=", 3))
+        assert not implies(conj, Atom("x", "<=", 2))
+
+    def test_equality_implication(self):
+        conj = _conj("x = y + 2")
+        assert implies(conj, Atom("x", ">", "y"))
+        assert implies(conj, Atom("x", "=", "y", 2))
+        assert not implies(conj, Atom("x", "=", "y"))
+
+    def test_unsatisfiable_implies_everything(self):
+        conj = _conj("x < 0 and x > 0")
+        assert implies(conj, Atom("x", "=", 12345))
+
+    def test_ground_atoms(self):
+        conj = _conj("x <= 3")
+        assert implies(conj, Atom(1, "<", 2))
+        assert not implies(conj, Atom(2, "<", 1))
+
+    def test_empty_conjunction_implies_only_tautologies(self):
+        empty = Conjunction()
+        assert implies(empty, Atom("x", "<=", "x"))
+        assert not implies(empty, Atom("x", "<=", 0))
+
+
+class TestMinimize:
+    def test_drops_weaker_bound(self):
+        out = minimize_conjunction(_conj("x < 5 and x < 7"))
+        assert [str(a) for a in out.atoms] == ["x < 5"]
+
+    def test_drops_transitively_implied(self):
+        out = minimize_conjunction(_conj("x <= y and y <= z and x <= z"))
+        assert len(out.atoms) == 2
+
+    def test_drops_duplicates(self):
+        out = minimize_conjunction(_conj("x = y and x = y"))
+        assert len(out.atoms) == 1
+
+    def test_keeps_independent_atoms(self):
+        out = minimize_conjunction(_conj("x < 5 and y > 2"))
+        assert len(out.atoms) == 2
+
+    def test_drops_ground_true(self):
+        out = minimize_conjunction(_conj("1 < 2 and x < 5"))
+        assert [str(a) for a in out.atoms] == ["x < 5"]
+
+    def test_unsatisfiable_collapses_to_one_witness(self):
+        # Every atom is implied by the (unsatisfiable) rest, so
+        # minimization keeps shrinking; the result must still be
+        # unsatisfiable.
+        out = minimize_conjunction(_conj("x < 0 and x > 0 and y = 1"))
+        from repro.core.satisfiability import is_satisfiable_conjunction
+
+        assert not is_satisfiable_conjunction(out)
+
+    @settings(max_examples=150, deadline=None)
+    @given(small_conjunctions(max_atoms=4))
+    def test_minimization_preserves_solutions(self, conj):
+        minimized = minimize_conjunction(conj)
+        assert len(minimized.atoms) <= len(conj.atoms)
+        bound = solution_box(conj)
+        from itertools import product
+
+        variables = sorted(conj.variables() | minimized.variables())
+        if not variables:
+            assert brute_force_satisfiable(conj, -1, 1) == (
+                brute_force_satisfiable(minimized, -1, 1)
+            )
+            return
+        for values in product(range(-bound, bound + 1), repeat=len(variables)):
+            env = dict(zip(variables, values))
+            assert conj.evaluate(env) == minimized.evaluate(env)
+
+    @settings(max_examples=150, deadline=None)
+    @given(small_conjunctions(max_atoms=4))
+    def test_minimized_is_equivalent(self, conj):
+        assert conjunctions_equivalent(conj, minimize_conjunction(conj))
+
+
+class TestEquivalence:
+    def test_strict_vs_weak_forms(self):
+        assert conjunctions_equivalent(_conj("x < 5"), _conj("x <= 4"))
+        assert not conjunctions_equivalent(_conj("x < 5"), _conj("x <= 5"))
+
+    def test_reordered_atoms(self):
+        assert conjunctions_equivalent(
+            _conj("x < 5 and y > 2"), _conj("y > 2 and x < 5")
+        )
+
+    def test_both_unsatisfiable(self):
+        assert conjunctions_equivalent(
+            _conj("x < 0 and x > 0"), _conj("y = 1 and y = 2")
+        )
+
+    def test_sat_vs_unsat(self):
+        assert not conjunctions_equivalent(_conj("x < 5"), _conj("x < 0 and x > 0"))
+
+
+class TestMinimizeCondition:
+    def test_drops_dead_disjuncts(self):
+        out = minimize_condition(parse_condition("x < 0 and x > 0 or y < 5 and y < 9"))
+        assert str(out) == "y < 5"
+
+    def test_all_dead_gives_false(self):
+        out = minimize_condition(parse_condition("x < 0 and x > 0"))
+        assert out.is_false()

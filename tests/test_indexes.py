@@ -1,0 +1,129 @@
+"""Unit tests for hash indexes and the index manager."""
+
+import pytest
+
+from repro.algebra.relation import Delta, Relation
+from repro.algebra.schema import RelationSchema
+from repro.engine.database import Database
+from repro.engine.indexes import HashIndex, IndexManager
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def relation():
+    return Relation.from_rows(
+        RelationSchema(["A", "B"]), [(1, 10), (2, 10), (3, 20)]
+    )
+
+
+class TestHashIndex:
+    def test_probe_single_attribute(self, relation):
+        index = HashIndex(relation, "r", ["B"])
+        assert index.probe((10,)) == {(1, 10), (2, 10)}
+        assert index.probe((20,)) == {(3, 20)}
+        assert index.probe((99,)) == frozenset()
+
+    def test_probe_composite_key(self, relation):
+        index = HashIndex(relation, "r", ["A", "B"])
+        assert index.probe((1, 10)) == {(1, 10)}
+        assert index.probe((1, 20)) == frozenset()
+
+    def test_key_count(self, relation):
+        assert len(HashIndex(relation, "r", ["B"])) == 2
+
+    def test_empty_attribute_list_rejected(self, relation):
+        with pytest.raises(SchemaError):
+            HashIndex(relation, "r", [])
+
+    def test_unknown_attribute_rejected(self, relation):
+        with pytest.raises(SchemaError):
+            HashIndex(relation, "r", ["Z"])
+
+    def test_apply_delta(self, relation):
+        index = HashIndex(relation, "r", ["B"])
+        delta = Delta(relation.schema, inserted=[(4, 20)], deleted=[(1, 10)])
+        index.apply_delta(delta)
+        assert index.probe((20,)) == {(3, 20), (4, 20)}
+        assert index.probe((10,)) == {(2, 10)}
+
+    def test_delta_removing_last_key_entry(self, relation):
+        index = HashIndex(relation, "r", ["B"])
+        index.apply_delta(Delta(relation.schema, deleted=[(3, 20)]))
+        assert index.probe((20,)) == frozenset()
+        assert len(index) == 1
+
+    def test_remove_unknown_row_is_noop(self, relation):
+        index = HashIndex(relation, "r", ["B"])
+        index._remove((9, 99))
+        assert len(index) == 2
+
+    def test_probe_many(self, relation):
+        index = HashIndex(relation, "r", ["B"])
+        rows = set(index.probe_many([(10,), (20,)]))
+        assert rows == {(1, 10), (2, 10), (3, 20)}
+
+
+class TestIndexManager:
+    def test_create_is_idempotent(self, relation):
+        manager = IndexManager()
+        a = manager.create_index(relation, "r", ["B"])
+        b = manager.create_index(relation, "r", ["B"])
+        assert a is b
+        assert len(manager) == 1
+
+    def test_lookup(self, relation):
+        manager = IndexManager()
+        manager.create_index(relation, "r", ["B"])
+        assert manager.lookup("r", ("B",)) is not None
+        assert manager.lookup("r", ("A",)) is None
+        assert manager.lookup("s", ("B",)) is None
+
+    def test_indexes_on(self, relation):
+        manager = IndexManager()
+        manager.create_index(relation, "r", ["A"])
+        manager.create_index(relation, "r", ["B"])
+        assert len(manager.indexes_on("r")) == 2
+        assert manager.indexes_on("s") == ()
+
+    def test_drop(self, relation):
+        manager = IndexManager()
+        manager.create_index(relation, "r", ["B"])
+        assert manager.drop_index("r", ["B"])
+        assert not manager.drop_index("r", ["B"])
+
+    def test_apply_deltas_routes_by_relation(self, relation):
+        manager = IndexManager()
+        index = manager.create_index(relation, "r", ["B"])
+        other_schema = RelationSchema(["X"])
+        deltas = {
+            "r": Delta(relation.schema, inserted=[(9, 30)]),
+            "other": Delta(other_schema, inserted=[(1,)]),
+        }
+        manager.apply_deltas(deltas)
+        assert index.probe((30,)) == {(9, 30)}
+
+
+class TestIndexThroughDatabase:
+    def test_index_stays_consistent_under_random_commits(self):
+        import random
+
+        db = Database()
+        db.create_relation("r", ["A", "B"], [(i, i % 3) for i in range(10)])
+        index = db.create_index("r", ["B"])
+        rng = random.Random(17)
+        for _ in range(40):
+            with db.transact() as txn:
+                for _ in range(rng.randint(1, 4)):
+                    row = (rng.randint(0, 20), rng.randint(0, 3))
+                    if rng.random() < 0.5:
+                        txn.insert("r", row)
+                    else:
+                        txn.delete("r", row)
+            # Index contents must equal a scan-built answer.
+            for key in range(4):
+                expected = {
+                    values
+                    for values in db.relation("r").value_tuples()
+                    if values[1] == key
+                }
+                assert index.probe((key,)) == expected

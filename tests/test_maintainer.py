@@ -1,0 +1,266 @@
+"""Unit and integration tests for the ViewMaintainer pipeline."""
+
+import random
+
+import pytest
+
+from repro.algebra.expressions import BaseRef
+from repro.core.consistency import check_view_consistency
+from repro.core.maintainer import MaintenancePolicy, ViewMaintainer
+from repro.engine.database import Database
+from repro.errors import MaintenanceError, UnknownViewError
+
+from tests.conftest import run_random_transactions
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_relation("r", ["A", "B"], [(1, 2), (5, 10), (12, 15)])
+    database.create_relation("s", ["C", "D"], [(2, 10), (10, 20)])
+    return database
+
+
+@pytest.fixture
+def view_expr():
+    return (
+        BaseRef("r")
+        .product(BaseRef("s"))
+        .select("A < 10 and C > 5 and B = C")
+        .project(["A", "D"])
+    )
+
+
+class TestViewManagement:
+    def test_define_materializes(self, db, view_expr):
+        m = ViewMaintainer(db)
+        view = m.define_view("u", view_expr)
+        assert view.contents.counts() == {(5, 20): 1}
+        assert m.view("u") is view
+        assert m.view_names() == ("u",)
+
+    def test_duplicate_name_rejected(self, db, view_expr):
+        m = ViewMaintainer(db)
+        m.define_view("u", view_expr)
+        with pytest.raises(MaintenanceError):
+            m.define_view("u", view_expr)
+
+    def test_unknown_view(self, db):
+        m = ViewMaintainer(db)
+        with pytest.raises(UnknownViewError):
+            m.view("zzz")
+        with pytest.raises(UnknownViewError):
+            m.refresh("zzz")
+
+    def test_drop_view(self, db, view_expr):
+        m = ViewMaintainer(db)
+        m.define_view("u", view_expr)
+        m.drop_view("u")
+        assert m.view_names() == ()
+        with pytest.raises(UnknownViewError):
+            m.drop_view("u")
+
+    def test_policy_query(self, db, view_expr):
+        m = ViewMaintainer(db)
+        m.define_view("u", view_expr, policy=MaintenancePolicy.DEFERRED)
+        assert m.policy("u") is MaintenancePolicy.DEFERRED
+
+    def test_detach_stops_maintenance(self, db, view_expr):
+        m = ViewMaintainer(db)
+        view = m.define_view("u", view_expr)
+        m.detach()
+        with db.transact() as txn:
+            txn.insert("r", (9, 10))
+        assert view.contents.counts() == {(5, 20): 1}
+
+
+class TestImmediateMaintenance:
+    def test_example_41_insertions(self, db, view_expr):
+        m = ViewMaintainer(db, auto_verify=True)
+        view = m.define_view("u", view_expr)
+        with db.transact() as txn:
+            txn.insert("r", (9, 10))   # relevant
+            txn.insert("r", (11, 10))  # provably irrelevant
+        assert view.contents.counts() == {(5, 20): 1, (9, 20): 1}
+        stats = m.stats("u")
+        assert stats.tuples_screened == 2
+        assert stats.tuples_irrelevant == 1
+
+    def test_fully_irrelevant_transaction_skipped(self, db, view_expr):
+        m = ViewMaintainer(db, auto_verify=True)
+        m.define_view("u", view_expr)
+        with db.transact() as txn:
+            txn.insert("r", (11, 10))
+            txn.insert("r", (50, 3))
+        stats = m.stats("u")
+        assert stats.transactions_skipped == 1
+        assert stats.deltas_applied == 0
+
+    def test_unrelated_relation_ignored(self, db, view_expr):
+        db.create_relation("other", ["X"], [(1,)])
+        m = ViewMaintainer(db, auto_verify=True)
+        m.define_view("u", view_expr)
+        with db.transact() as txn:
+            txn.insert("other", (2,))
+        assert m.stats("u").transactions_seen == 0
+
+    def test_deletes_maintained(self, db, view_expr):
+        m = ViewMaintainer(db, auto_verify=True)
+        view = m.define_view("u", view_expr)
+        with db.transact() as txn:
+            txn.delete("r", (5, 10))
+        assert view.contents.counts() == {}
+
+    def test_multi_view_same_commit(self, db, view_expr):
+        m = ViewMaintainer(db, auto_verify=True)
+        u = m.define_view("u", view_expr)
+        pb = m.define_view("pb", BaseRef("r").project(["B"]))
+        with db.transact() as txn:
+            txn.insert("r", (9, 10))
+        assert (9, 20) in u.contents
+        assert pb.contents.count_of((10,)) == 2
+
+    def test_without_filter_same_results(self, db, view_expr):
+        filtered = ViewMaintainer(db, use_relevance_filter=True)
+        unfiltered = ViewMaintainer(db, use_relevance_filter=False)
+        a = filtered.define_view("a", view_expr)
+        b = unfiltered.define_view("b", view_expr)
+        rng = random.Random(4)
+        run_random_transactions(db, rng, 25, value_max=14)
+        assert a.contents == b.contents
+        assert unfiltered.stats("b").tuples_screened == 0
+
+    def test_without_indexes_same_results(self, db, view_expr):
+        with_idx = ViewMaintainer(db, use_indexes=True)
+        without_idx = ViewMaintainer(db, use_indexes=False)
+        a = with_idx.define_view("a", view_expr)
+        b = without_idx.define_view("b", view_expr)
+        rng = random.Random(6)
+        run_random_transactions(db, rng, 25, value_max=14)
+        assert a.contents == b.contents
+
+
+class TestDeferredMaintenance:
+    def test_pending_accumulates_until_refresh(self, db, view_expr):
+        m = ViewMaintainer(db)
+        view = m.define_view("u", view_expr, policy=MaintenancePolicy.DEFERRED)
+        with db.transact() as txn:
+            txn.insert("r", (9, 10))
+        # Not yet applied.
+        assert view.contents.counts() == {(5, 20): 1}
+        assert m.pending_deltas("u")["r"].inserted == {(9, 10): 1}
+        assert m.refresh("u")
+        assert view.contents.counts() == {(5, 20): 1, (9, 20): 1}
+        check_view_consistency(view, db.instances())
+
+    def test_refresh_with_nothing_pending(self, db, view_expr):
+        m = ViewMaintainer(db)
+        m.define_view("u", view_expr, policy=MaintenancePolicy.DEFERRED)
+        assert not m.refresh("u")
+
+    def test_pending_composition_cancels(self, db, view_expr):
+        m = ViewMaintainer(db)
+        m.define_view("u", view_expr, policy=MaintenancePolicy.DEFERRED)
+        with db.transact() as txn:
+            txn.insert("r", (9, 10))
+        with db.transact() as txn:
+            txn.delete("r", (9, 10))
+        assert m.pending_deltas("u") == {}
+        assert not m.refresh("u")
+
+    def test_deferred_matches_recomputation_after_many_txns(self, db, view_expr):
+        m = ViewMaintainer(db)
+        view = m.define_view("u", view_expr, policy=MaintenancePolicy.DEFERRED)
+        rng = random.Random(11)
+        run_random_transactions(db, rng, 30, value_max=14)
+        m.refresh("u")
+        check_view_consistency(view, db.instances())
+
+    def test_interleaved_refreshes(self, db, view_expr):
+        m = ViewMaintainer(db)
+        view = m.define_view("u", view_expr, policy=MaintenancePolicy.DEFERRED)
+        rng = random.Random(12)
+        for _ in range(5):
+            run_random_transactions(db, rng, 6, value_max=14)
+            m.refresh("u")
+            check_view_consistency(view, db.instances())
+
+
+class TestAutoVerify:
+    def test_auto_verify_catches_corruption(self, db, view_expr):
+        m = ViewMaintainer(db, auto_verify=True)
+        view = m.define_view("u", view_expr)
+        # Corrupt the view behind the maintainer's back.
+        view.contents.add((99, 99))
+        with pytest.raises(MaintenanceError):
+            with db.transact() as txn:
+                txn.insert("r", (9, 10))
+
+
+class TestStats:
+    def test_stats_as_dict(self, db, view_expr):
+        m = ViewMaintainer(db)
+        m.define_view("u", view_expr)
+        d = m.stats("u").as_dict()
+        assert set(d) >= {"transactions_seen", "deltas_applied"}
+
+    def test_report_renders_all_views(self, db, view_expr):
+        m = ViewMaintainer(db)
+        m.define_view("u", view_expr)
+        m.define_view("pb", BaseRef("r").project(["B"]))
+        with db.transact() as txn:
+            txn.insert("r", (9, 10))
+        text = m.report()
+        assert "u" in text and "pb" in text
+        assert "immediate" in text
+
+
+class TestNamespace:
+    def test_view_name_colliding_with_relation_rejected(self, db, view_expr):
+        m = ViewMaintainer(db)
+        with pytest.raises(MaintenanceError, match="collides"):
+            m.define_view("r", view_expr)
+
+
+class TestSubscribers:
+    def test_immediate_subscriber_receives_delta(self, db, view_expr):
+        m = ViewMaintainer(db)
+        m.define_view("u", view_expr)
+        received = []
+        m.subscribe("u", lambda view, delta: received.append(delta))
+        with db.transact() as txn:
+            txn.insert("r", (9, 10))
+        assert len(received) == 1
+        assert received[0].inserted == {(9, 20): 1}
+
+    def test_subscriber_not_called_on_screened_commit(self, db, view_expr):
+        m = ViewMaintainer(db)
+        m.define_view("u", view_expr)
+        received = []
+        m.subscribe("u", lambda view, delta: received.append(delta))
+        with db.transact() as txn:
+            txn.insert("r", (11, 10))  # provably irrelevant
+        assert received == []
+
+    def test_deferred_subscriber_fires_at_refresh(self, db, view_expr):
+        m = ViewMaintainer(db)
+        m.define_view("u", view_expr, policy=MaintenancePolicy.DEFERRED)
+        received = []
+        m.subscribe("u", lambda view, delta: received.append(delta))
+        with db.transact() as txn:
+            txn.insert("r", (9, 10))
+        assert received == []  # nothing until refresh
+        m.refresh("u")
+        assert len(received) == 1
+
+    def test_unsubscribe(self, db, view_expr):
+        m = ViewMaintainer(db)
+        m.define_view("u", view_expr)
+        received = []
+        callback = lambda view, delta: received.append(delta)  # noqa: E731
+        m.subscribe("u", callback)
+        m.unsubscribe("u", callback)
+        with db.transact() as txn:
+            txn.insert("r", (9, 10))
+        assert received == []
+        m.unsubscribe("u", callback)  # idempotent

@@ -1,0 +1,141 @@
+"""Unit tests for flattening SPJ expressions into paper normal form."""
+
+import pytest
+
+from repro.algebra.conditions import Atom
+from repro.algebra.expressions import BaseRef, to_normal_form
+from repro.algebra.schema import RelationSchema
+from repro.errors import ExpressionError
+
+
+@pytest.fixture
+def catalog():
+    return {
+        "r": RelationSchema(["A", "B"]),
+        "s": RelationSchema(["B", "C"]),
+        "t": RelationSchema(["C", "D"]),
+        "u": RelationSchema(["E", "F"]),
+    }
+
+
+class TestBasicFlattening:
+    def test_bare_base_ref(self, catalog):
+        nf = to_normal_form(BaseRef("r"), catalog)
+        assert nf.relation_names == ("r",)
+        assert nf.condition.is_true()
+        assert nf.projection == (("A", "A"), ("B", "B"))
+        assert nf.output_schema().names == ("A", "B")
+
+    def test_select_collects_condition(self, catalog):
+        nf = to_normal_form(BaseRef("r").select("A < 5"), catalog)
+        assert str(nf.condition) == "A < 5"
+
+    def test_stacked_selects_conjoin(self, catalog):
+        nf = to_normal_form(
+            BaseRef("r").select("A < 5").select("B > 2"), catalog
+        )
+        (d,) = nf.condition.disjuncts
+        assert set(map(str, d.atoms)) == {"A < 5", "B > 2"}
+
+    def test_project_restricts_output(self, catalog):
+        nf = to_normal_form(BaseRef("r").project(["B"]), catalog)
+        assert nf.projection == (("B", "B"),)
+
+    def test_projection_then_select_on_kept_attr(self, catalog):
+        nf = to_normal_form(
+            BaseRef("r").project(["B"]).select("B > 1"), catalog
+        )
+        assert str(nf.condition) == "B > 1"
+
+    def test_select_on_projected_away_attr_rejected(self, catalog):
+        with pytest.raises(ExpressionError):
+            to_normal_form(BaseRef("r").project(["B"]).select("A > 1"), catalog)
+
+
+class TestJoins:
+    def test_natural_join_adds_equality(self, catalog):
+        nf = to_normal_form(BaseRef("r").join(BaseRef("s")), catalog)
+        assert nf.relation_names == ("r", "s")
+        (d,) = nf.condition.disjuncts
+        # One equality linking the two B copies.
+        eqs = [a for a in d.atoms if a.op == "="]
+        assert len(eqs) == 1
+        # Qualified names: the second B occurrence was renamed.
+        assert nf.qualified_schema.names == ("A", "B", "B_2", "C")
+
+    def test_join_output_uses_left_copy(self, catalog):
+        nf = to_normal_form(BaseRef("r").join(BaseRef("s")), catalog)
+        assert dict(nf.projection)["B"] == "B"
+
+    def test_chain_join(self, catalog):
+        expr = BaseRef("r").join(BaseRef("s")).join(BaseRef("t"))
+        nf = to_normal_form(expr, catalog)
+        assert nf.relation_names == ("r", "s", "t")
+        (d,) = nf.condition.disjuncts
+        assert sum(1 for a in d.atoms if a.op == "=") == 2
+
+    def test_product_requires_disjoint_visible(self, catalog):
+        with pytest.raises(ExpressionError):
+            to_normal_form(BaseRef("r").product(BaseRef("s")), catalog)
+
+    def test_product_of_disjoint(self, catalog):
+        nf = to_normal_form(BaseRef("r").product(BaseRef("u")), catalog)
+        assert nf.condition.is_true()
+        assert nf.output_schema().names == ("A", "B", "E", "F")
+
+    def test_self_join_gets_two_occurrences(self, catalog):
+        expr = BaseRef("r").join(BaseRef("r").rename({"A": "A2", "B": "B2"}))
+        nf = to_normal_form(expr, catalog)
+        assert nf.relation_names == ("r", "r")
+        assert len(nf.occurrences_of("r")) == 2
+        # Qualified namespace keeps the two occurrences distinct.
+        assert len(set(nf.qualified_schema.names)) == 4
+
+    def test_occurrences_of_absent_relation(self, catalog):
+        nf = to_normal_form(BaseRef("r"), catalog)
+        assert nf.occurrences_of("s") == ()
+
+
+class TestConditionRequalification:
+    def test_select_above_join_binds_to_left_copy(self, catalog):
+        expr = BaseRef("r").join(BaseRef("s")).select("B = 3")
+        nf = to_normal_form(expr, catalog)
+        (d,) = nf.condition.disjuncts
+        assert Atom("B", "=", 3) in d.atoms
+
+    def test_select_after_rename_uses_new_names(self, catalog):
+        expr = BaseRef("r").rename({"A": "X"}).select("X < 5")
+        nf = to_normal_form(expr, catalog)
+        # X maps back to the underlying qualified A.
+        (d,) = nf.condition.disjuncts
+        assert str(d.atoms[0]) == "A < 5"
+
+    def test_disjunctive_condition_flattens(self, catalog):
+        expr = BaseRef("r").join(BaseRef("s")).select("A < 1 or C > 9")
+        nf = to_normal_form(expr, catalog)
+        # DNF: the join equality distributes into both disjuncts.
+        assert len(nf.condition.disjuncts) == 2
+        for d in nf.condition.disjuncts:
+            assert any(a.op == "=" for a in d.atoms)
+
+
+class TestNormalFormIntegrity:
+    def test_condition_variables_subset_of_qualified(self, catalog):
+        expr = (
+            BaseRef("r").join(BaseRef("s")).select("A < 5 and C > 1").project(["A"])
+        )
+        nf = to_normal_form(expr, catalog)
+        assert nf.condition_variables() <= nf.qualified_schema.nameset
+
+    def test_output_schema_matches_expression_schema(self, catalog):
+        expr = BaseRef("r").join(BaseRef("s")).project(["C", "A"])
+        nf = to_normal_form(expr, catalog)
+        assert nf.output_schema().names == expr.schema(catalog).names
+
+    def test_invalid_expression_rejected_eagerly(self, catalog):
+        with pytest.raises(ExpressionError):
+            to_normal_form(BaseRef("zzz"), catalog)
+
+    def test_repr_mentions_relations(self, catalog):
+        nf = to_normal_form(BaseRef("r").join(BaseRef("s")), catalog)
+        assert "r" in repr(nf) and "s" in repr(nf)

@@ -1,0 +1,95 @@
+"""Unit tests for atom normalization (Algorithm 4.1 step 1)."""
+
+import pytest
+
+from repro.algebra.conditions import Atom, Conjunction, parse_condition
+from repro.core.normalize import normalize_atom, normalize_conjunction
+from repro.errors import ConditionError
+
+
+def _conj(text):
+    return parse_condition(text).disjuncts[0]
+
+
+class TestNormalizeAtom:
+    def test_less_than_two_var(self):
+        # x < y + c  ->  x <= y + c - 1 (discrete domains)
+        (out,) = normalize_atom(Atom("x", "<", "y", 3))
+        assert str(out) == "x <= y + 2"
+
+    def test_greater_than_two_var(self):
+        # x > y + c  ->  x >= y + c + 1
+        (out,) = normalize_atom(Atom("x", ">", "y", 3))
+        assert str(out) == "x >= y + 4"
+
+    def test_equality_splits(self):
+        out = normalize_atom(Atom("x", "=", "y", 2))
+        assert [str(a) for a in out] == ["x <= y + 2", "x >= y + 2"]
+
+    def test_weak_operators_unchanged(self):
+        for op in ("<=", ">="):
+            atom = Atom("x", op, "y", 1)
+            assert normalize_atom(atom) == [atom]
+
+    def test_single_variable_bounds(self):
+        (out,) = normalize_atom(Atom("x", "<", 10))
+        assert str(out) == "x <= 9"
+        (out,) = normalize_atom(Atom("x", ">", 10))
+        assert str(out) == "x >= 11"
+
+    def test_single_variable_equality(self):
+        out = normalize_atom(Atom("x", "=", 5))
+        assert [str(a) for a in out] == ["x <= 5", "x >= 5"]
+
+    def test_ground_atom_rejected(self):
+        with pytest.raises(ConditionError):
+            normalize_atom(Atom(1, "<", 2))
+
+    @pytest.mark.parametrize(
+        "op,offset",
+        [("<", 0), (">", 0), ("=", 0), ("<=", 2), (">=", -2), ("<", 5), (">", -5)],
+    )
+    def test_normalization_preserves_solutions(self, op, offset):
+        """Over the integers, normalized atoms have the same solution
+        set as the original — the point of the ±1 rewrites."""
+        original = Atom("x", op, "y", offset)
+        normalized = normalize_atom(original)
+        for x in range(-10, 11):
+            for y in range(-10, 11):
+                env = {"x": x, "y": y}
+                assert original.evaluate(env) == all(
+                    a.evaluate(env) for a in normalized
+                )
+
+
+class TestNormalizeConjunction:
+    def test_drops_true_ground_atoms(self):
+        nc = normalize_conjunction(_conj("3 <= 7 and x < 10"))
+        assert [str(a) for a in nc.atoms] == ["x <= 9"]
+        assert not nc.trivially_false
+
+    def test_false_ground_atom_short_circuits(self):
+        nc = normalize_conjunction(_conj("11 < 10 and x > 0"))
+        assert nc.trivially_false
+        assert nc.atoms == ()
+
+    def test_empty_conjunction_is_true(self):
+        nc = normalize_conjunction(Conjunction())
+        assert not nc.trivially_false
+        assert nc.atoms == ()
+
+    def test_variables(self):
+        nc = normalize_conjunction(_conj("x < y and z >= 2"))
+        assert nc.variables() == {"x", "y", "z"}
+
+    def test_paper_example_substituted_condition(self):
+        # C(11, 10, C) = (11 < 10) ∧ (C > 5) ∧ (10 = C): trivially false.
+        nc = normalize_conjunction(_conj("11 < 10 and C > 5 and 10 = C"))
+        assert nc.trivially_false
+
+    def test_paper_example_satisfiable_substitution(self):
+        # C(9, 10, C) = (9 < 10) ∧ (C > 5) ∧ (10 = C): normalizes to
+        # bounds on C only.
+        nc = normalize_conjunction(_conj("9 < 10 and C > 5 and 10 = C"))
+        assert not nc.trivially_false
+        assert {str(a) for a in nc.atoms} == {"C >= 6", "C <= 10", "C >= 10"}

@@ -1,0 +1,171 @@
+"""Unit tests for the condition parser."""
+
+import pytest
+
+from repro.algebra.conditions import Atom, Const, Var, parse_condition
+from repro.errors import ConditionError
+
+
+class TestBasicParsing:
+    def test_single_atom(self):
+        c = parse_condition("A < 10")
+        assert len(c.disjuncts) == 1
+        assert c.disjuncts[0].atoms == (Atom("A", "<", 10),)
+
+    def test_paper_example_condition(self):
+        c = parse_condition("A < 10 and C > 5 and B = C")
+        (d,) = c.disjuncts
+        assert d.atoms == (
+            Atom("A", "<", 10),
+            Atom("C", ">", 5),
+            Atom("B", "=", "C"),
+        )
+
+    def test_all_operators(self):
+        for op in ("=", "<", ">", "<=", ">="):
+            c = parse_condition(f"x {op} 3")
+            assert c.disjuncts[0].atoms[0].op == op
+
+    def test_double_equals_alias(self):
+        assert parse_condition("x == 3") == parse_condition("x = 3")
+
+    def test_offset_plus(self):
+        a = parse_condition("x <= y + 4").disjuncts[0].atoms[0]
+        assert a.offset == 4
+
+    def test_offset_minus(self):
+        a = parse_condition("x <= y - 4").disjuncts[0].atoms[0]
+        assert a.offset == -4
+
+    def test_offset_on_left_moves_right(self):
+        # x + 2 <= y  is  x <= y - 2
+        a = parse_condition("x + 2 <= y").disjuncts[0].atoms[0]
+        assert a.offset == -2
+
+    def test_negative_constant(self):
+        a = parse_condition("x < -5").disjuncts[0].atoms[0]
+        assert a.right == Const(-5)
+
+    def test_constant_on_left(self):
+        a = parse_condition("5 < x").disjuncts[0].atoms[0]
+        assert a.left == Var("x") and a.op == ">"
+
+    def test_qualified_names(self):
+        a = parse_condition("orders.amount > 100").disjuncts[0].atoms[0]
+        assert a.left == Var("orders.amount")
+
+
+class TestBooleanStructure:
+    def test_and_or_precedence(self):
+        # and binds tighter: (a and b) or c
+        c = parse_condition("x < 1 and y < 1 or z < 1")
+        assert len(c.disjuncts) == 2
+        assert len(c.disjuncts[0].atoms) == 2
+        assert len(c.disjuncts[1].atoms) == 1
+
+    def test_parentheses_override(self):
+        # a and (b or c) distributes into DNF: two disjuncts of 2 atoms.
+        c = parse_condition("x < 1 and (y < 1 or z < 1)")
+        assert len(c.disjuncts) == 2
+        assert all(len(d.atoms) == 2 for d in c.disjuncts)
+
+    def test_true_false_literals(self):
+        assert parse_condition("true").is_true()
+        assert parse_condition("false").is_false()
+
+    def test_keywords_case_insensitive(self):
+        c = parse_condition("x < 1 AND y < 1 OR TRUE")
+        assert c.is_true()
+
+    def test_nested_parens(self):
+        c = parse_condition("((x < 1))")
+        assert len(c.disjuncts) == 1
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "x <",
+            "< 5",
+            "x ! 5",
+            "x != 5",
+            "x <> 5",
+            "x < 5 and",
+            "x < 5 or or y < 1",
+            "(x < 5",
+            "x < 5)",
+            "x + y < 5",  # offsets must be constants, not variables
+            "x < 5 6",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ConditionError):
+            parse_condition(text)
+
+    def test_unknown_character(self):
+        with pytest.raises(ConditionError):
+            parse_condition("x # 5")
+
+
+class TestParserEdgeCases:
+    def test_whitespace_tolerance(self):
+        assert parse_condition("  x<5and y>=2  ") == parse_condition(
+            "x < 5 and y >= 2"
+        )
+
+    def test_long_chain_of_ands(self):
+        c = parse_condition(" and ".join(f"x{i} < {i}" for i in range(30)))
+        assert len(c.disjuncts[0].atoms) == 30
+
+    def test_long_chain_of_ors(self):
+        c = parse_condition(" or ".join(f"x < {i}" for i in range(30)))
+        assert len(c.disjuncts) == 30
+
+    def test_deeply_nested_parens(self):
+        text = "(" * 20 + "x < 5" + ")" * 20
+        assert parse_condition(text) == parse_condition("x < 5")
+
+    def test_distribution_blowup_is_correct(self):
+        # (a or b) and (c or d) and (e or f): 8 disjuncts of 3 atoms.
+        c = parse_condition(
+            "(x < 1 or x > 9) and (y < 1 or y > 9) and (z < 1 or z > 9)"
+        )
+        assert len(c.disjuncts) == 8
+        assert all(len(d.atoms) == 3 for d in c.disjuncts)
+
+    def test_keyword_as_prefix_of_identifier(self):
+        # 'android' starts with 'and' but is one identifier.
+        c = parse_condition("android < 5")
+        assert c.variables() == {"android"}
+
+    def test_true_inside_conjunction_is_identity(self):
+        assert parse_condition("true and x < 5") == parse_condition("x < 5")
+
+    def test_false_inside_conjunction_annihilates(self):
+        assert parse_condition("false and x < 5").is_false()
+
+    def test_false_in_disjunction_is_identity(self):
+        assert parse_condition("false or x < 5") == parse_condition("x < 5")
+
+    def test_zero_offsets(self):
+        a = parse_condition("x <= y + 0").disjuncts[0].atoms[0]
+        assert a.offset == 0
+        assert str(a) == "x <= y"
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "A < 10 and C > 5 and B = C",
+            "x <= y + 2",
+            "x >= y - 3",
+            "(x < 1) or (y > 2 and z = w)",
+        ],
+    )
+    def test_str_reparses_to_same_condition(self, text):
+        once = parse_condition(text)
+        again = parse_condition(str(once))
+        assert once == again

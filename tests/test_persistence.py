@@ -1,0 +1,178 @@
+"""Unit tests for database save/load."""
+
+import io
+import json
+
+import pytest
+
+from repro.algebra.domains import FiniteDomain, StringDomain
+from repro.algebra.schema import Attribute, RelationSchema
+from repro.engine.database import Database
+from repro.engine.persistence import (
+    PersistenceError,
+    database_from_document,
+    database_to_document,
+    load_database,
+    load_database_file,
+    save_database,
+    save_database_file,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_relation("r", ["A", "B"], [(1, 2), (3, 4)])
+    database.create_relation(
+        "typed",
+        RelationSchema(
+            [
+                Attribute("status", StringDomain(["pending", "done"])),
+                Attribute("n", FiniteDomain(0, 10)),
+            ]
+        ),
+        [("pending", 3), ("done", 7)],
+    )
+    return database
+
+
+class TestRoundTrip:
+    def test_stream_round_trip(self, db):
+        buffer = io.StringIO()
+        save_database(db, buffer)
+        buffer.seek(0)
+        loaded = load_database(buffer)
+        for name in db.relation_names():
+            assert loaded.relation(name) == db.relation(name)
+            assert loaded.relation(name).schema == db.relation(name).schema
+
+    def test_file_round_trip(self, db, tmp_path):
+        path = str(tmp_path / "db.json")
+        save_database_file(db, path)
+        loaded = load_database_file(path)
+        assert loaded.relation("r") == db.relation("r")
+
+    def test_document_is_deterministic(self, db):
+        assert database_to_document(db) == database_to_document(db)
+
+    def test_domains_survive(self, db):
+        doc = database_to_document(db)
+        loaded = database_from_document(doc)
+        schema = loaded.relation("typed").schema
+        assert schema.domain_of("status") == StringDomain(["pending", "done"])
+        assert schema.domain_of("n") == FiniteDomain(0, 10)
+        # String values decode back through the restored domain.
+        (row,) = [r for r in loaded.relation("typed").rows() if r["n"] == 3]
+        assert row["status"] == "pending"
+
+    def test_loaded_database_is_functional(self, db):
+        doc = database_to_document(db)
+        loaded = database_from_document(doc)
+        with loaded.transact() as txn:
+            txn.insert("r", (5, 6))
+        assert (5, 6) in loaded.relation("r")
+        assert (5, 6) not in db.relation("r")
+
+    def test_empty_database(self):
+        doc = database_to_document(Database())
+        assert database_from_document(doc).relation_names() == ()
+
+
+class TestErrors:
+    def test_wrong_version(self):
+        with pytest.raises(PersistenceError):
+            database_from_document({"format": 999, "relations": {}})
+
+    def test_missing_relations(self):
+        with pytest.raises(PersistenceError):
+            database_from_document({"format": 1})
+
+    def test_malformed_relation(self):
+        doc = {"format": 1, "relations": {"r": {"attributes": []}}}
+        with pytest.raises(PersistenceError):
+            database_from_document(doc)
+
+    def test_row_count_mismatch(self):
+        doc = {
+            "format": 1,
+            "relations": {
+                "r": {
+                    "attributes": [{"name": "A", "domain": {"kind": "integer"}}],
+                    "rows": [[1], [2]],
+                    "counts": [1],
+                }
+            },
+        }
+        with pytest.raises(PersistenceError):
+            database_from_document(doc)
+
+    def test_counted_base_rejected(self):
+        doc = {
+            "format": 1,
+            "relations": {
+                "r": {
+                    "attributes": [{"name": "A", "domain": {"kind": "integer"}}],
+                    "rows": [[1]],
+                    "counts": [2],
+                }
+            },
+        }
+        with pytest.raises(PersistenceError):
+            database_from_document(doc)
+
+    def test_unknown_domain_kind(self):
+        doc = {
+            "format": 1,
+            "relations": {
+                "r": {
+                    "attributes": [{"name": "A", "domain": {"kind": "complex"}}],
+                    "rows": [],
+                    "counts": [],
+                }
+            },
+        }
+        with pytest.raises(PersistenceError):
+            database_from_document(doc)
+
+    def test_invalid_json_stream(self):
+        with pytest.raises(PersistenceError):
+            load_database(io.StringIO("{not json"))
+
+    def test_document_is_json_serializable(self, db):
+        json.dumps(database_to_document(db))
+
+
+class TestRoundTripProperties:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    random_rows = st.lists(
+        st.tuples(
+            st.integers(min_value=-50, max_value=50),
+            st.integers(min_value=-50, max_value=50),
+        ),
+        max_size=15,
+        unique=True,
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(random_rows, random_rows)
+    def test_random_databases_round_trip(self, r_rows, s_rows):
+        db = Database()
+        db.create_relation("r", ["A", "B"], r_rows)
+        db.create_relation("s", ["X", "Y"], s_rows)
+        buffer = io.StringIO()
+        save_database(db, buffer)
+        buffer.seek(0)
+        loaded = load_database(buffer)
+        assert loaded.relation("r") == db.relation("r")
+        assert loaded.relation("s") == db.relation("s")
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_rows)
+    def test_round_trip_twice_is_stable(self, rows):
+        db = Database()
+        db.create_relation("r", ["A", "B"], rows)
+        doc1 = database_to_document(db)
+        doc2 = database_to_document(database_from_document(doc1))
+        assert doc1 == doc2

@@ -1,0 +1,151 @@
+"""Unit and property tests for the satisfiability procedures."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra.conditions import Condition, Conjunction, parse_condition
+from repro.core.satisfiability import (
+    brute_force_satisfiable,
+    is_satisfiable,
+    is_satisfiable_conjunction,
+    solve_condition,
+    solve_conjunction,
+)
+
+from tests.strategies import (
+    conditions,
+    conjunctions,
+    small_conjunctions,
+    solution_box,
+)
+
+
+def _conj(text):
+    return parse_condition(text).disjuncts[0]
+
+
+class TestConjunctions:
+    def test_paper_relevant_substitution(self):
+        # Example 4.1: C(9, 10, C) is satisfiable.
+        assert is_satisfiable_conjunction(_conj("9 < 10 and C > 5 and 10 = C"))
+
+    def test_paper_irrelevant_substitution(self):
+        # Example 4.1: C(11, 10, C) is unsatisfiable.
+        assert not is_satisfiable_conjunction(_conj("11 < 10 and C > 5 and 10 = C"))
+
+    def test_empty_conjunction_satisfiable(self):
+        assert is_satisfiable_conjunction(Conjunction())
+
+    def test_tight_equality_chain(self):
+        assert is_satisfiable_conjunction(_conj("x = y + 1 and y = z + 1 and x = z + 2"))
+        assert not is_satisfiable_conjunction(
+            _conj("x = y + 1 and y = z + 1 and x = z + 3")
+        )
+
+    def test_strict_inequality_discreteness(self):
+        # x < y and y < x + 2 forces y = x + 1: satisfiable only
+        # because domains are discrete.
+        assert is_satisfiable_conjunction(_conj("x < y and y < x + 2"))
+        # x < y and y < x + 1 has no integer solution.
+        assert not is_satisfiable_conjunction(_conj("x < y and y < x + 1"))
+
+    def test_bound_window(self):
+        assert is_satisfiable_conjunction(_conj("x >= 3 and x <= 3"))
+        assert not is_satisfiable_conjunction(_conj("x >= 4 and x <= 3"))
+
+    def test_both_methods_agree(self):
+        for text in (
+            "x < y and y < z and z < x",
+            "x <= y and y <= x",
+            "x = 5 and x = 6",
+            "x = 5 and y = x + 1 and y <= 6",
+        ):
+            c = _conj(text)
+            assert is_satisfiable_conjunction(c, "floyd") == (
+                is_satisfiable_conjunction(c, "bellman")
+            )
+
+
+class TestDisjunctions:
+    def test_satisfiable_if_any_disjunct_is(self):
+        assert is_satisfiable(parse_condition("x < 0 and x > 0 or x = 1"))
+
+    def test_unsatisfiable_if_all_disjuncts_are(self):
+        assert not is_satisfiable(
+            parse_condition("x < 0 and x > 0 or y < 5 and y > 5")
+        )
+
+    def test_false_condition(self):
+        assert not is_satisfiable(Condition.false())
+
+    def test_true_condition(self):
+        assert is_satisfiable(Condition.true())
+
+
+class TestSolvers:
+    def test_solution_satisfies(self):
+        conj = _conj("x <= y - 1 and y <= 4 and x >= -3")
+        sol = solve_conjunction(conj)
+        assert sol is not None
+        assert conj.evaluate(sol)
+
+    def test_unsatisfiable_gives_none(self):
+        assert solve_conjunction(_conj("x < 0 and x > 0")) is None
+
+    def test_solution_covers_all_variables(self):
+        sol = solve_conjunction(_conj("x <= y and 1 <= 2 and z >= 0"))
+        assert sol is not None and set(sol) == {"x", "y", "z"}
+
+    def test_solve_condition_picks_live_disjunct(self):
+        cond = parse_condition("x < 0 and x > 0 or x = 7")
+        sol = solve_condition(cond)
+        assert sol is not None and cond.evaluate(sol)
+
+    def test_solve_condition_none_when_unsat(self):
+        assert solve_condition(parse_condition("x < 0 and x > 0")) is None
+
+    def test_solve_condition_covers_variables_of_other_disjuncts(self):
+        cond = parse_condition("x = 1 or y = 2")
+        sol = solve_condition(cond)
+        assert sol is not None and {"x", "y"} <= set(sol)
+
+
+class TestAgainstBruteForce:
+    """The graph test decides satisfiability over unbounded integers;
+    the brute-force oracle enumerates a finite box.  The box is derived
+    per conjunction (sum of absolute constraint weights), which bounds
+    the shortest-path solution whenever one exists, so the comparison
+    is exact; conjunctions are restricted to two variables to keep the
+    enumeration cheap."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(small_conjunctions(max_atoms=4))
+    def test_graph_agrees_with_brute_force(self, conj):
+        bound = solution_box(conj)
+        graph_answer = is_satisfiable_conjunction(conj)
+        brute_answer = brute_force_satisfiable(conj, -bound, bound)
+        assert graph_answer == brute_answer
+
+    @settings(max_examples=300, deadline=None)
+    @given(conjunctions(max_atoms=4))
+    def test_solver_constructs_real_solutions(self, conj):
+        sol = solve_conjunction(conj)
+        if sol is not None:
+            assert conj.evaluate(sol)
+        else:
+            assert not is_satisfiable_conjunction(conj)
+
+    @settings(max_examples=200, deadline=None)
+    @given(conditions())
+    def test_dnf_rule(self, cond):
+        # C satisfiable iff some disjunct satisfiable (the paper's rule).
+        assert is_satisfiable(cond) == any(
+            is_satisfiable_conjunction(d) for d in cond.disjuncts
+        )
+
+    @settings(max_examples=200, deadline=None)
+    @given(conjunctions(max_atoms=4))
+    def test_floyd_bellman_agree(self, conj):
+        assert is_satisfiable_conjunction(conj, "floyd") == (
+            is_satisfiable_conjunction(conj, "bellman")
+        )

@@ -1,0 +1,95 @@
+"""Unit tests for the snapshot (deferred-delta) queue."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.snapshots import SnapshotQueue
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_relation("r", ["A"], [(1,), (2,)])
+    database.create_relation("s", ["B"], [(1,)])
+    return database
+
+
+class TestAccumulation:
+    def test_single_transaction(self, db):
+        queue = SnapshotQueue(db)
+        with db.transact() as txn:
+            txn.insert("r", (5,))
+        pending = queue.pending_deltas()
+        assert pending["r"].inserted == {(5,): 1}
+        assert queue.pending_transaction_count() == 1
+
+    def test_composition_cancels(self, db):
+        queue = SnapshotQueue(db)
+        with db.transact() as txn:
+            txn.insert("r", (5,))
+        with db.transact() as txn:
+            txn.delete("r", (5,))
+        assert not queue.has_pending()
+
+    def test_composition_accumulates(self, db):
+        queue = SnapshotQueue(db)
+        with db.transact() as txn:
+            txn.insert("r", (5,))
+        with db.transact() as txn:
+            txn.insert("r", (6,))
+            txn.delete("r", (1,))
+        pending = queue.pending_deltas()["r"]
+        assert set(pending.inserted) == {(5,), (6,)}
+        assert set(pending.deleted) == {(1,)}
+
+    def test_multiple_relations_tracked_separately(self, db):
+        queue = SnapshotQueue(db)
+        with db.transact() as txn:
+            txn.insert("r", (5,))
+            txn.delete("s", (1,))
+        pending = queue.pending_deltas()
+        assert set(pending) == {"r", "s"}
+
+    def test_read_only_transactions_ignored(self, db):
+        queue = SnapshotQueue(db)
+        with db.transact():
+            pass
+        assert queue.pending_transaction_count() == 0
+
+
+class TestDrain:
+    def test_drain_hands_over_and_clears(self, db):
+        queue = SnapshotQueue(db)
+        with db.transact() as txn:
+            txn.insert("r", (5,))
+        drained = queue.drain()
+        assert drained["r"].inserted == {(5,): 1}
+        assert not queue.has_pending()
+        assert queue.pending_transaction_count() == 0
+
+    def test_drain_equals_one_big_transaction(self, db):
+        """Applying the drained deltas to a pre-commit copy must yield
+        the live state — the deferred deltas are a faithful summary."""
+        before = db.clone_data()
+        queue = SnapshotQueue(db)
+        import random
+
+        rng = random.Random(8)
+        for _ in range(15):
+            with db.transact() as txn:
+                for _ in range(rng.randint(1, 3)):
+                    row = (rng.randint(0, 9),)
+                    if rng.random() < 0.5:
+                        txn.insert("r", row)
+                    else:
+                        txn.delete("r", row)
+        for name, delta in queue.drain().items():
+            delta.apply_to(before.relation(name))
+        assert before.relation("r") == db.relation("r")
+
+    def test_detach_stops_observing(self, db):
+        queue = SnapshotQueue(db)
+        queue.detach()
+        with db.transact() as txn:
+            txn.insert("r", (5,))
+        assert not queue.has_pending()

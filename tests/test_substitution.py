@@ -1,0 +1,141 @@
+"""Unit tests for Definitions 4.1–4.3: substitution and classification."""
+
+import pytest
+
+from repro.algebra.conditions import Atom, parse_condition
+from repro.algebra.expressions import BaseRef, to_normal_form
+from repro.algebra.schema import RelationSchema
+from repro.core.substitution import (
+    FormulaKind,
+    binding_for,
+    classify_atom,
+    combined_binding,
+    split_conjunction,
+    substitute_condition,
+)
+from repro.errors import ConditionError
+
+
+@pytest.fixture
+def catalog():
+    return {
+        "r": RelationSchema(["A", "B"]),
+        "s": RelationSchema(["C", "D"]),
+    }
+
+
+@pytest.fixture
+def nf_41(catalog):
+    expr = (
+        BaseRef("r")
+        .product(BaseRef("s"))
+        .select("A < 10 and C > 5 and B = C")
+        .project(["A", "D"])
+    )
+    return to_normal_form(expr, catalog)
+
+
+class TestClassifyAtom:
+    """Definition 4.2's three formula classes, on Example 4.1's C."""
+
+    def test_variant_evaluable(self):
+        # A < 10 with A substituted: becomes ground.
+        assert classify_atom(Atom("A", "<", 10), {"A", "B"}) is (
+            FormulaKind.VARIANT_EVALUABLE
+        )
+
+    def test_variant_non_evaluable(self):
+        # B = C with B substituted: becomes C op const.
+        assert classify_atom(Atom("B", "=", "C"), {"A", "B"}) is (
+            FormulaKind.VARIANT_NON_EVALUABLE
+        )
+
+    def test_invariant(self):
+        # C > 5 is untouched by substituting {A, B}.
+        assert classify_atom(Atom("C", ">", 5), {"A", "B"}) is (
+            FormulaKind.INVARIANT
+        )
+
+    def test_ground_atom_with_no_substituted_vars_is_invariant(self):
+        assert classify_atom(Atom(1, "<", 2), {"A"}) is FormulaKind.INVARIANT
+
+    def test_two_var_fully_substituted_is_evaluable(self):
+        assert classify_atom(Atom("A", "<", "B"), {"A", "B"}) is (
+            FormulaKind.VARIANT_EVALUABLE
+        )
+
+
+class TestSplitConjunction:
+    def test_example_41_split(self):
+        conj = parse_condition("A < 10 and C > 5 and B = C").disjuncts[0]
+        split = split_conjunction(conj, {"A", "B"})
+        assert [str(a) for a in split.variant_evaluable] == ["A < 10"]
+        assert [str(a) for a in split.invariant] == ["C > 5"]
+        assert [str(a) for a in split.variant_non_evaluable] == ["B = C"]
+
+    def test_empty_conjunction(self):
+        from repro.algebra.conditions import Conjunction
+
+        split = split_conjunction(Conjunction(), {"A"})
+        assert split.invariant == ()
+        assert split.variant_evaluable == ()
+        assert split.variant_non_evaluable == ()
+
+    def test_split_partitions_all_atoms(self):
+        conj = parse_condition(
+            "A < 10 and C > 5 and B = C and A <= B and C <= D + 2"
+        ).disjuncts[0]
+        split = split_conjunction(conj, {"A", "B"})
+        total = (
+            len(split.invariant)
+            + len(split.variant_evaluable)
+            + len(split.variant_non_evaluable)
+        )
+        assert total == len(conj.atoms)
+
+
+class TestBindings:
+    def test_binding_for_uses_qualified_names(self, nf_41, catalog):
+        (occ_r,) = nf_41.occurrences_of("r")
+        binding = binding_for(occ_r, catalog["r"], (9, 10))
+        assert binding == {"A": 9, "B": 10}
+
+    def test_binding_arity_checked(self, nf_41, catalog):
+        (occ_r,) = nf_41.occurrences_of("r")
+        with pytest.raises(ConditionError):
+            binding_for(occ_r, catalog["r"], (9,))
+
+    def test_combined_binding_merges_disjoint(self, nf_41, catalog):
+        (occ_r,) = nf_41.occurrences_of("r")
+        (occ_s,) = nf_41.occurrences_of("s")
+        merged = combined_binding(
+            [
+                binding_for(occ_r, catalog["r"], (9, 10)),
+                binding_for(occ_s, catalog["s"], (10, 20)),
+            ]
+        )
+        assert merged == {"A": 9, "B": 10, "C": 10, "D": 20}
+
+    def test_combined_binding_rejects_overlap(self):
+        with pytest.raises(ConditionError):
+            combined_binding([{"A": 1}, {"A": 2}])
+
+
+class TestSubstituteCondition:
+    def test_example_41_relevant(self, nf_41, catalog):
+        """C(t, Y2) for t = (9, 10): (9<10) ∧ (C>5) ∧ (10=C)."""
+        (occ_r,) = nf_41.occurrences_of("r")
+        binding = binding_for(occ_r, catalog["r"], (9, 10))
+        substituted = substitute_condition(nf_41.condition, binding)
+        (d,) = substituted.disjuncts
+        # The substituted condition has the same truth table as the
+        # paper's C(9, 10, C) over values of C.
+        for c_value in range(0, 20):
+            expected = (9 < 10) and (c_value > 5) and (10 == c_value)
+            assert d.evaluate({"C": c_value, "D": 0}) is expected
+
+    def test_substitution_removes_bound_variables(self, nf_41, catalog):
+        (occ_r,) = nf_41.occurrences_of("r")
+        binding = binding_for(occ_r, catalog["r"], (9, 10))
+        substituted = substitute_condition(nf_41.condition, binding)
+        assert substituted.variables() <= {"C", "D"}

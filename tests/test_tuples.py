@@ -1,0 +1,87 @@
+"""Unit tests for Row views and row coercion."""
+
+import pytest
+
+from repro.algebra.schema import RelationSchema
+from repro.algebra.tuples import Row, coerce_row
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema(["A", "B", "C"])
+
+
+class TestRow:
+    def test_mapping_access(self, schema):
+        row = Row(schema, (1, 2, 3))
+        assert row["A"] == 1
+        assert row["C"] == 3
+        assert dict(row) == {"A": 1, "B": 2, "C": 3}
+
+    def test_len_and_iter(self, schema):
+        row = Row(schema, (1, 2, 3))
+        assert len(row) == 3
+        assert list(row) == ["A", "B", "C"]
+
+    def test_arity_mismatch_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Row(schema, (1, 2))
+
+    def test_raw_access(self, schema):
+        assert Row(schema, (1, 2, 3)).raw("B") == 2
+
+    def test_project(self, schema):
+        sub = Row(schema, (1, 2, 3)).project(["C", "A"])
+        assert sub.values == (3, 1)
+        assert sub.schema.names == ("C", "A")
+
+    def test_equality_with_row_and_mapping(self, schema):
+        row = Row(schema, (1, 2, 3))
+        assert row == Row(schema, (1, 2, 3))
+        assert row == {"A": 1, "B": 2, "C": 3}
+        assert row != Row(schema, (9, 2, 3))
+
+    def test_hashable(self, schema):
+        assert len({Row(schema, (1, 2, 3)), Row(schema, (1, 2, 3))}) == 1
+
+    def test_decodes_through_domain(self):
+        from repro.algebra.domains import StringDomain
+        from repro.algebra.schema import Attribute
+
+        s = RelationSchema([Attribute("x", StringDomain(["lo", "hi"]))])
+        assert Row(s, (1,))["x"] == "hi"
+
+
+class TestCoerceRow:
+    def test_from_sequence(self, schema):
+        assert coerce_row(schema, (1, 2, 3)) == (1, 2, 3)
+        assert coerce_row(schema, [1, 2, 3]) == (1, 2, 3)
+
+    def test_from_mapping(self, schema):
+        assert coerce_row(schema, {"B": 2, "A": 1, "C": 3}) == (1, 2, 3)
+
+    def test_from_row(self, schema):
+        row = Row(schema, (1, 2, 3))
+        assert coerce_row(schema, row) == (1, 2, 3)
+
+    def test_row_schema_mismatch(self, schema):
+        other = RelationSchema(["X", "Y", "Z"])
+        with pytest.raises(SchemaError):
+            coerce_row(schema, Row(other, (1, 2, 3)))
+
+    def test_mapping_missing_attribute(self, schema):
+        with pytest.raises(SchemaError):
+            coerce_row(schema, {"A": 1, "B": 2})
+
+    def test_mapping_extra_attribute(self, schema):
+        with pytest.raises(SchemaError):
+            coerce_row(schema, {"A": 1, "B": 2, "C": 3, "D": 4})
+
+    def test_string_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            coerce_row(schema, "abc")
+
+    def test_bad_arity_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            coerce_row(schema, (1,))
