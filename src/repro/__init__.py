@@ -47,6 +47,7 @@ from repro.errors import (
     UnknownViewError,
     ViewDefinitionError,
     MaintenanceError,
+    ReplicationError,
 )
 from repro.algebra import (
     Attribute,
@@ -96,6 +97,15 @@ from repro.core import (
 )
 from repro.baselines import FullReevaluationMaintainer, KeyProjectionView
 from repro.instrumentation import CostRecorder, recording
+from repro.replication import (
+    DurabilityManager,
+    Follower,
+    Recovery,
+    WalCorruptionError,
+    WalReader,
+    WalWriter,
+    recover,
+)
 
 __version__ = "1.0.0"
 
@@ -111,6 +121,7 @@ __all__ = [
     "UnknownViewError",
     "ViewDefinitionError",
     "MaintenanceError",
+    "ReplicationError",
     # algebra
     "Attribute",
     "RelationSchema",
@@ -165,6 +176,14 @@ __all__ = [
     # baselines
     "FullReevaluationMaintainer",
     "KeyProjectionView",
+    # replication
+    "DurabilityManager",
+    "Follower",
+    "Recovery",
+    "recover",
+    "WalCorruptionError",
+    "WalReader",
+    "WalWriter",
     # instrumentation
     "CostRecorder",
     "recording",

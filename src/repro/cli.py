@@ -1,10 +1,23 @@
-"""A tiny interactive shell over the public API.
+"""A tiny interactive shell over the public API, plus durability verbs.
 
 Intended for exploration and demos, not as a query language: the
 commands map one-to-one onto library calls, and the view syntax covers
 exactly the paper's SPJ class.
 
-Commands::
+Invocations::
+
+    python -m repro.cli                      -- interactive shell
+    python -m repro.cli recover DIR [--shell]
+        Rebuild a database from the newest checkpoint plus the WAL tail
+        in DIR (see docs/durability.md) and print a recovery summary;
+        --shell then opens the interactive shell on the recovered
+        database.
+    python -m repro.cli follow DIR [--from N] [--once] [--interval S]
+        Tail the WAL in DIR, printing one line per committed
+        transaction.  --once drains the log and exits; the default
+        polls every S seconds (0.5) until interrupted.
+
+Shell commands::
 
     create table <name> (<attr>, <attr>, ...)
     insert into <name> values (v, ...) [, (v, ...)]*
@@ -72,7 +85,9 @@ class Shell:
             return ""
         lowered = line.lower()
         if lowered in ("help", "?"):
-            return __doc__.split("Commands::", 1)[1].split("Run interactively", 1)[0]
+            return __doc__.split("Shell commands::", 1)[1].split(
+                "Run interactively", 1
+            )[0]
         if lowered in ("exit", "quit"):
             raise EOFError
         if lowered == "tables":
@@ -220,9 +235,78 @@ class Shell:
         return self.database.relation(name).pretty()
 
 
-def main() -> int:  # pragma: no cover - interactive loop
-    """REPL entry point: ``python -m repro.cli``."""
-    shell = Shell()
+def _format_record(record) -> str:
+    """One ``follow`` output line for a WAL record."""
+    parts = []
+    for name in sorted(record.deltas_doc):
+        delta_doc = record.deltas_doc[name]
+        parts.append(
+            f"{name}:+{len(delta_doc.get('inserted', ()))}"
+            f"/-{len(delta_doc.get('deleted', ()))}"
+        )
+    return f"seq={record.sequence} txn={record.txn_id} " + " ".join(parts)
+
+
+def run_recover(directory: str) -> tuple[str, Database]:
+    """Recover base state from ``directory``; returns (summary, database).
+
+    View definitions are code, not data, so the CLI restores base
+    relations only; it lists the views the checkpoint carried so the
+    owning application knows what to ``restore_view``.
+    """
+    from repro.replication.recovery import Recovery
+
+    recovery = Recovery(directory)
+    replayed = recovery.replay()
+    lines = [
+        f"checkpoint at WAL sequence {recovery.checkpoint_sequence}",
+        f"replayed {replayed} transaction(s), now at sequence "
+        f"{recovery.last_sequence}",
+    ]
+    if recovery.tail_damage is not None:
+        lines.append(
+            f"stopped at torn tail (a resuming writer will truncate it): "
+            f"{recovery.tail_damage!r}"
+        )
+    for name in recovery.database.relation_names():
+        lines.append(f"  {name}: {len(recovery.database.relation(name))} tuples")
+    views = recovery.checkpointed_views()
+    if views:
+        lines.append(
+            "checkpointed views (restore with Recovery.restore_view): "
+            + ", ".join(views)
+        )
+    return "\n".join(lines), recovery.database
+
+
+def run_follow(
+    directory: str,
+    after: int = 0,
+    once: bool = True,
+    interval: float = 0.5,
+    emit=print,
+) -> int:
+    """Tail the WAL, emitting one line per record; returns the last seq."""
+    from repro.replication.wal import WalReader
+
+    reader = WalReader(directory)
+    position = after
+    while True:
+        for record in reader.records(after=position):
+            emit(_format_record(record))
+            position = record.sequence
+        if reader.tail_damage is not None:
+            emit(f"(waiting at torn tail: {reader.tail_damage!r})")
+        if once:
+            return position
+        import time  # pragma: no cover - interactive loop
+
+        time.sleep(interval)  # pragma: no cover
+
+
+def repl(shell: Shell | None = None) -> int:  # pragma: no cover - interactive
+    """The interactive loop behind ``python -m repro.cli``."""
+    shell = shell if shell is not None else Shell()
     print("repro shell — materialized views per Blakeley/Larson/Tompa 1986.")
     print("Type 'help' for commands, 'quit' to leave.")
     while True:
@@ -239,6 +323,71 @@ def main() -> int:  # pragma: no cover - interactive loop
             output = f"error: {exc}"
         if output:
             print(output)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: shell by default, ``recover``/``follow`` verbs."""
+    import argparse
+
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if not argv:
+        return repl()
+
+    parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+    recover_parser = commands.add_parser(
+        "recover", help="rebuild a database from checkpoint + WAL tail"
+    )
+    recover_parser.add_argument("directory")
+    recover_parser.add_argument(
+        "--shell",
+        action="store_true",
+        help="open the interactive shell on the recovered database",
+    )
+    follow_parser = commands.add_parser(
+        "follow", help="tail a WAL directory's committed transactions"
+    )
+    follow_parser.add_argument("directory")
+    follow_parser.add_argument(
+        "--from",
+        dest="after",
+        type=int,
+        default=0,
+        metavar="N",
+        help="start after WAL sequence N (default 0: from the beginning)",
+    )
+    follow_parser.add_argument(
+        "--once", action="store_true", help="drain the log and exit"
+    )
+    follow_parser.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="poll interval in seconds when not --once",
+    )
+    options = parser.parse_args(argv)
+
+    try:
+        if options.command == "recover":
+            summary, database = run_recover(options.directory)
+            print(summary)
+            if options.shell:  # pragma: no cover - interactive
+                return repl(Shell(database))
+            return 0
+        run_follow(
+            options.directory,
+            after=options.after,
+            once=options.once,
+            interval=options.interval,
+        )
+        return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        print()
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -25,7 +25,7 @@ import enum
 from typing import Callable, Iterable, Mapping, Optional
 
 from repro.algebra.expressions import Expression
-from repro.algebra.relation import Delta
+from repro.algebra.relation import Delta, Relation
 from repro.algebra.tags import Tag
 from repro.core.differential import compute_view_delta
 from repro.core.irrelevance import filter_delta
@@ -142,6 +142,55 @@ class ViewMaintainer:
         applied to it.  Upstream views must be IMMEDIATE — a deferred
         upstream has no per-commit delta to propagate.
         """
+        definition, referenced = self._validated_definition(name, expression)
+        view = MaterializedView.materialize(definition, self._combined_instances())
+        return self._install_view(view, referenced, policy)
+
+    def restore_view(
+        self,
+        name: str,
+        expression: Expression,
+        contents: Relation,
+        policy: MaintenancePolicy = MaintenancePolicy.IMMEDIATE,
+        verify: bool = False,
+    ) -> MaterializedView:
+        """Register a view with pre-computed contents — no evaluation.
+
+        This is the rebuild-from-snapshot path used by crash recovery
+        (:class:`repro.replication.recovery.Recovery`): a checkpoint
+        carries each view's stored relation (multiplicity counters
+        included), so after a restart the view is re-adopted
+        byte-for-byte and the replayed write-ahead-log tail flows
+        through the normal differential pipeline — the view is never
+        recomputed from scratch.
+
+        ``contents`` must match the definition's output schema by
+        attribute names; its rows are re-encoded against the catalog's
+        domains.  ``verify`` recomputes the view and compares, turning a
+        stale or tampered snapshot into an immediate error instead of a
+        silently diverging view.
+        """
+        definition, referenced = self._validated_definition(name, expression)
+        expected = definition.output_schema()
+        if tuple(contents.schema.names) != tuple(expected.names):
+            raise MaintenanceError(
+                f"restored contents for view {name!r} have schema "
+                f"{list(contents.schema.names)}, expected {list(expected.names)}"
+            )
+        adopted = Relation(expected)
+        for values, count in contents.items():
+            adopted.add(tuple(contents.schema.decode_values(values)), count)
+        view = MaterializedView(definition, adopted)
+        if verify:
+            from repro.core.consistency import check_view_consistency
+
+            check_view_consistency(view, self._combined_instances())
+        return self._install_view(view, referenced, policy)
+
+    def _validated_definition(
+        self, name: str, expression: Expression
+    ) -> tuple[ViewDefinition, frozenset[str]]:
+        """Shared registration checks for new and restored views."""
         if name in self._views:
             raise MaintenanceError(f"view {name!r} is already defined")
         if name in self.database.relation_names():
@@ -159,7 +208,15 @@ class ViewMaintainer:
                     f"view {name!r} references deferred view {dep!r}; "
                     "stacked views require IMMEDIATE upstream maintenance"
                 )
-        view = MaterializedView.materialize(definition, self._combined_instances())
+        return definition, referenced
+
+    def _install_view(
+        self,
+        view: MaterializedView,
+        referenced: frozenset[str],
+        policy: MaintenancePolicy,
+    ) -> MaterializedView:
+        name = view.definition.name
         view.last_refresh_sequence = self.database.log.last_sequence()
         self._views[name] = view
         self._policies[name] = policy

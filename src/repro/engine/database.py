@@ -72,7 +72,10 @@ class Database:
         if name not in self._relations:
             raise UnknownRelationError(f"unknown relation {name!r}")
         del self._relations[name]
-        for index in self.indexes.indexes_on(name):
+        # Snapshot into a list before dropping: drop_index mutates the
+        # manager's mapping backing indexes_on, so iteration must never
+        # run over a live view of it.
+        for index in list(self.indexes.indexes_on(name)):
             self.indexes.drop_index(name, index.attributes)
 
     def relation(self, name: str) -> Relation:
@@ -103,14 +106,25 @@ class Database:
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------
-    def begin(self) -> Transaction:
-        """Start a new transaction."""
-        txn = Transaction(self, self._next_txn_id)
-        self._next_txn_id += 1
+    def begin(self, txn_id: int | None = None) -> Transaction:
+        """Start a new transaction.
+
+        ``txn_id`` pins an explicit identifier — the recovery path uses
+        this to replay write-ahead-log records under their original ids,
+        so a recovered database's history is indistinguishable from the
+        one that produced the log.  Uniqueness of pinned ids is the
+        replayer's contract (a log never holds duplicates); the counter
+        only ever advances, so fresh transactions cannot collide with
+        replayed ones.
+        """
+        if txn_id is None:
+            txn_id = self._next_txn_id
+        txn = Transaction(self, txn_id)
+        self._next_txn_id = max(self._next_txn_id, txn_id + 1)
         return txn
 
     @contextmanager
-    def transact(self) -> Iterator[Transaction]:
+    def transact(self, txn_id: int | None = None) -> Iterator[Transaction]:
         """Context manager: commit on success, abort on exception.
 
         >>> db = Database()
@@ -120,7 +134,7 @@ class Database:
         >>> (1, 2) in db.relation("r")
         True
         """
-        txn = self.begin()
+        txn = self.begin(txn_id)
         try:
             yield txn
         except BaseException:
@@ -129,6 +143,19 @@ class Database:
             raise
         if txn.state.value == "active":
             txn.commit()
+
+    @property
+    def next_txn_id(self) -> int:
+        """The id the next transaction will receive (checkpoint state)."""
+        return self._next_txn_id
+
+    def advance_txn_counter(self, next_txn_id: int) -> None:
+        """Ensure future transactions get ids ``>= next_txn_id``.
+
+        Called by recovery after replaying a checkpoint whose log tail
+        is empty, so fresh transactions never reuse a pre-crash id.
+        """
+        self._next_txn_id = max(self._next_txn_id, next_txn_id)
 
     def apply(self, inserts: Mapping[str, Iterable[object]] | None = None,
               deletes: Mapping[str, Iterable[object]] | None = None) -> dict[str, Delta]:

@@ -15,9 +15,11 @@ committed transaction, in commit order, so that
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 from repro.algebra.relation import Delta
+from repro.algebra.tuples import Row
+from repro.instrumentation import charge
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.database import Database
@@ -110,14 +112,45 @@ class UpdateLog:
         fresh copy of the initial state replayed through the log must
         equal the live database.
         """
-        for record in self._records:
-            with database.transact() as txn:
-                for name, delta in record.deltas.items():
-                    schema = database.relation(name).schema
-                    for values in delta.deleted:
-                        txn.delete(name, values)
-                    for values in delta.inserted:
-                        txn.insert(name, values)
+        replay_records(database, self._records)
 
     def __repr__(self) -> str:
         return f"<UpdateLog {len(self._records)} records>"
+
+
+def replay_records(
+    database: "Database",
+    records: Iterable[LogRecord],
+    preserve_txn_ids: bool = False,
+) -> int:
+    """Re-commit a sequence of log records against ``database``.
+
+    Each record becomes one transaction through the normal commit
+    pipeline, so every commit hook — view maintainers above all — sees
+    the replayed deltas exactly as it saw the originals; views are
+    re-derived differentially, never recomputed.  Replay is
+    deterministic because each record holds a *net effect*: deletions
+    are applied before insertions per relation, and net-effect
+    cancellation cannot re-trigger (inserts are absent from, deletes
+    present in, the pre-state by the Section 3 invariant).
+
+    ``preserve_txn_ids`` re-commits each record under its original
+    transaction id (crash recovery); the default assigns fresh ids
+    (replay-as-oracle in tests).  Returns the number of transactions
+    committed.
+    """
+    replayed = 0
+    for record in records:
+        txn_id = record.txn_id if preserve_txn_ids else None
+        with database.transact(txn_id) as txn:
+            for name, delta in record.deltas.items():
+                # Deltas hold encoded tuples; wrap them in Rows so the
+                # transaction does not re-encode already-encoded values.
+                schema = database.relation(name).schema
+                for values in delta.deleted:
+                    txn.delete(name, Row(schema, values))
+                for values in delta.inserted:
+                    txn.insert(name, Row(schema, values))
+        replayed += 1
+        charge("log_replay_transactions")
+    return replayed

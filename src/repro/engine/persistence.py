@@ -23,6 +23,7 @@ from repro.algebra.domains import (
     IntegerDomain,
     StringDomain,
 )
+from repro.algebra.relation import Delta, Relation
 from repro.algebra.schema import Attribute, RelationSchema
 from repro.engine.database import Database
 from repro.errors import ReproError
@@ -61,30 +62,83 @@ def _decode_domain(doc: dict[str, Any]) -> Domain:
 
 
 # ----------------------------------------------------------------------
+# Relation codecs (shared by database documents and WAL checkpoints)
+# ----------------------------------------------------------------------
+
+def relation_to_document(relation: Relation) -> dict[str, Any]:
+    """Encode one counted relation (schema, rows, multiplicities).
+
+    JSON has no tuple keys: rows and counts are stored as two aligned
+    lists, sorted for deterministic output.  Rows are stored in
+    *decoded* form (labels, not codes) so documents stay readable and
+    survive domain re-encoding on load.
+    """
+    items = sorted(relation.items())
+    return {
+        "attributes": [
+            {"name": attr.name, "domain": _encode_domain(attr.domain)}
+            for attr in relation.schema.attributes
+        ],
+        "rows": [
+            list(relation.schema.decode_values(values)) for values, _ in items
+        ],
+        "counts": [count for _, count in items],
+    }
+
+
+def relation_from_document(
+    doc: dict[str, Any], name: str = "?", allow_counts: bool = False
+) -> Relation:
+    """Decode a document produced by :func:`relation_to_document`.
+
+    ``allow_counts`` permits multiplicities greater than one — required
+    for materialized-view contents (checkpoints persist their §5.2
+    counters), forbidden for base relations (which are sets).
+    """
+    try:
+        attributes = [
+            Attribute(a["name"], _decode_domain(a["domain"]))
+            for a in doc["attributes"]
+        ]
+        rows = doc["rows"]
+        counts = doc["counts"]
+    except (KeyError, TypeError) as exc:
+        raise PersistenceError(f"relation {name!r} is malformed: {exc}") from exc
+    if len(rows) != len(counts):
+        raise PersistenceError(
+            f"relation {name!r}: {len(rows)} rows but {len(counts)} counts"
+        )
+    schema = RelationSchema(attributes)
+    relation = Relation(schema)
+    for values, count in zip(rows, counts):
+        if count != 1 and not allow_counts:
+            raise PersistenceError(
+                f"relation {name!r}: base relations are sets; "
+                f"count {count} for {values}"
+            )
+        if count < 1:
+            raise PersistenceError(
+                f"relation {name!r}: count {count} for {values} "
+                "must be positive"
+            )
+        if tuple(values) in relation:
+            raise PersistenceError(
+                f"relation {name!r}: duplicate row {values}"
+            )
+        relation.add(tuple(values), count)
+    return relation
+
+
+# ----------------------------------------------------------------------
 # Database codecs
 # ----------------------------------------------------------------------
 
 def database_to_document(database: Database) -> dict[str, Any]:
     """Encode a database's schemas and contents as a JSON-able dict."""
-    relations = {}
-    for name in database.relation_names():
-        relation = database.relation(name)
-        # JSON has no tuple keys: store rows and counts as two aligned
-        # lists, sorted for deterministic output.  Rows are stored in
-        # *decoded* form (labels, not codes) so documents stay readable
-        # and survive domain re-encoding on load.
-        items = sorted(relation.items())
-        relations[name] = {
-            "attributes": [
-                {"name": attr.name, "domain": _encode_domain(attr.domain)}
-                for attr in relation.schema.attributes
-            ],
-            "rows": [
-                list(relation.schema.decode_values(values))
-                for values, _ in items
-            ],
-            "counts": [count for _, count in items],
-        }
+    relations = {
+        name: relation_to_document(database.relation(name))
+        for name in database.relation_names()
+    }
     return {"format": FORMAT_VERSION, "relations": relations}
 
 
@@ -100,31 +154,67 @@ def database_from_document(doc: dict[str, Any]) -> Database:
     if not isinstance(relations, dict):
         raise PersistenceError("document has no 'relations' mapping")
     for name, rel_doc in relations.items():
-        try:
-            attributes = [
-                Attribute(a["name"], _decode_domain(a["domain"]))
-                for a in rel_doc["attributes"]
-            ]
-            rows = rel_doc["rows"]
-            counts = rel_doc["counts"]
-        except (KeyError, TypeError) as exc:
-            raise PersistenceError(
-                f"relation {name!r} is malformed: {exc}"
-            ) from exc
-        if len(rows) != len(counts):
-            raise PersistenceError(
-                f"relation {name!r}: {len(rows)} rows but {len(counts)} counts"
-            )
-        schema = RelationSchema(attributes)
-        relation = database.create_relation(name, schema)
-        for values, count in zip(rows, counts):
-            if count != 1:
-                raise PersistenceError(
-                    f"relation {name!r}: base relations are sets; "
-                    f"count {count} for {values}"
-                )
-            relation.add(tuple(values))
+        decoded = relation_from_document(rel_doc, name)
+        relation = database.create_relation(name, decoded.schema)
+        for row in decoded.rows():
+            relation.add(row)
     return database
+
+
+# ----------------------------------------------------------------------
+# Delta codecs (the unit the write-ahead log ships)
+# ----------------------------------------------------------------------
+
+def delta_to_document(delta: Delta) -> dict[str, Any]:
+    """Encode one net-effect delta as decoded insert/delete row lists.
+
+    Rows appear once per multiplicity (base-relation deltas always carry
+    count 1) and are sorted for deterministic output, so identical
+    deltas always serialize to identical bytes — the property WAL
+    checksums and replay determinism rest on.
+    """
+    def expand(counts: dict) -> list[list[Any]]:
+        rows = []
+        for values, count in sorted(counts.items()):
+            decoded = list(delta.schema.decode_values(values))
+            rows.extend([decoded] * count)
+        return rows
+
+    return {"inserted": expand(delta.inserted), "deleted": expand(delta.deleted)}
+
+
+def delta_from_document(schema: RelationSchema, doc: dict[str, Any]) -> Delta:
+    """Decode a document produced by :func:`delta_to_document`."""
+    try:
+        inserted = [tuple(row) for row in doc["inserted"]]
+        deleted = [tuple(row) for row in doc["deleted"]]
+    except (KeyError, TypeError) as exc:
+        raise PersistenceError(f"delta document is malformed: {exc}") from exc
+    return Delta(schema, inserted, deleted)
+
+
+def deltas_to_document(deltas: "dict[str, Delta]") -> dict[str, Any]:
+    """Encode a commit's per-relation deltas (empty ones are dropped)."""
+    return {
+        name: delta_to_document(delta)
+        for name, delta in sorted(deltas.items())
+        if not delta.is_empty()
+    }
+
+
+def deltas_from_document(
+    schemas: "dict[str, RelationSchema]", doc: dict[str, Any]
+) -> dict[str, Delta]:
+    """Decode per-relation deltas against a schema catalog."""
+    deltas = {}
+    for name, delta_doc in doc.items():
+        schema = schemas.get(name)
+        if schema is None:
+            raise PersistenceError(
+                f"delta references unknown relation {name!r}"
+            )
+        deltas[name] = delta_from_document(schema, delta_doc)
+    return deltas
 
 
 def save_database(database: Database, stream: IO[str]) -> None:

@@ -75,3 +75,13 @@ class ViewDefinitionError(ExpressionError):
 
 class MaintenanceError(ReproError):
     """Differential maintenance failed or was invoked inconsistently."""
+
+
+class ReplicationError(ReproError):
+    """The durability / replication subsystem failed.
+
+    Covers write-ahead-log corruption (see
+    :class:`repro.replication.wal.WalCorruptionError`), malformed
+    checkpoint documents, and followers consuming a log that references
+    relations they never declared.
+    """

@@ -11,6 +11,20 @@ optional active :class:`CostRecorder`.
 Recording is opt-in and near-zero-cost when inactive: every charge site
 first checks a module-level flag.
 
+Counter families by prefix (each named counter is charged at exactly
+one call site):
+
+* evaluation — ``tuples_scanned``, ``join_probes``, ``index_probes``,
+  truth-table row counts, satisfiability checks;
+* maintenance — ``transactions_skipped_irrelevant`` and the per-view
+  counters mirrored in :class:`repro.core.maintainer.MaintenanceStats`;
+* durability (``wal_*``) — ``wal_records_appended``,
+  ``wal_bytes_written``, ``wal_fsyncs``, ``wal_segments_rotated``,
+  ``wal_records_read`` from :mod:`repro.replication.wal`, plus
+  ``log_replay_transactions`` charged by
+  :func:`repro.engine.log.replay_records` during crash recovery and
+  changefeed catch-up.
+
 Usage::
 
     recorder = CostRecorder()

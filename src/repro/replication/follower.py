@@ -1,0 +1,118 @@
+"""Changefeed followers: independent views downstream of the WAL.
+
+The paper's machinery needs nothing from the base store beyond the
+committed delta stream — so a replica that receives (a directory
+containing) the leader's checkpoint and WAL can maintain materialized
+views the leader has never heard of.  :class:`Follower` is that
+replica: it boots its own base-relation copy from the newest
+checkpoint, registers its *own* view definitions, and then advances a
+position cursor through the log, re-committing each shipped record
+through its private commit pipeline.  Every poll runs the same
+irrelevance filter and differential evaluation the leader runs, just
+against the follower's view set.
+
+Consistency model: a follower is *sequentially consistent with lag* —
+after ``poll()`` returns 0 with an undamaged tail, the follower's base
+relations equal the leader's as of the follower's position, and each
+follower view equals what the same definition would contain on the
+leader (deferred views after a ``refresh``).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import Expression
+from repro.core.maintainer import MaintenancePolicy, ViewMaintainer
+from repro.core.views import MaterializedView
+from repro.engine.log import replay_records
+from repro.errors import ReplicationError
+from repro.replication.checkpoints import Checkpoint, latest_checkpoint_path
+from repro.replication.recovery import decode_wal_record
+from repro.replication.wal import TailDamage, WalReader
+
+
+class Follower:
+    """Consumes a WAL directory and maintains its own views from it.
+
+    ``maintainer_options`` are passed through to the follower's private
+    :class:`ViewMaintainer` (e.g. ``use_relevance_filter=False`` for an
+    ablation replica).
+    """
+
+    def __init__(self, directory: str, **maintainer_options) -> None:
+        self.directory = directory
+        path = latest_checkpoint_path(directory)
+        if path is None:
+            raise ReplicationError(
+                f"no checkpoint in {directory!r}: followers bootstrap their "
+                "base-relation copy (and schemas) from the leader's checkpoint"
+            )
+        checkpoint = Checkpoint.load(path)
+        #: The follower's private base-relation replica.
+        self.database = checkpoint.build_database()
+        #: WAL sequence the replica is current as of.
+        self.position = checkpoint.wal_sequence
+        #: The follower's own maintainer — define any views on it.
+        self.maintainer = ViewMaintainer(self.database, **maintainer_options)
+        #: Torn-tail report from the last poll (None when clean).
+        self.tail_damage: TailDamage | None = None
+        self._reader = WalReader(directory)
+
+    # ------------------------------------------------------------------
+    # View management (delegates to the private maintainer)
+    # ------------------------------------------------------------------
+    def define_view(
+        self,
+        name: str,
+        expression: Expression,
+        policy: MaintenancePolicy = MaintenancePolicy.IMMEDIATE,
+    ) -> MaterializedView:
+        """Register one of the follower's own views.
+
+        The initial materialization evaluates against the replica at
+        the current position; subsequent polls maintain it
+        differentially from shipped deltas alone.
+        """
+        return self.maintainer.define_view(name, expression, policy=policy)
+
+    def view(self, name: str) -> MaterializedView:
+        """One of the follower's materialized views."""
+        return self.maintainer.view(name)
+
+    def refresh(self, name: str) -> bool:
+        """Apply a deferred follower view's composed backlog."""
+        return self.maintainer.refresh(name)
+
+    # ------------------------------------------------------------------
+    # The changefeed loop
+    # ------------------------------------------------------------------
+    def poll(self, max_records: int | None = None) -> int:
+        """Consume newly shipped records; returns how many were applied.
+
+        Each record is re-committed as one transaction under its
+        original id, advancing :attr:`position`.  A torn tail stops the
+        poll (and is reported on :attr:`tail_damage`) — the next poll
+        picks up whatever the leader completes afterwards.
+        """
+        applied = 0
+        for record in self._reader.records(after=self.position):
+            replay_records(
+                self.database,
+                [decode_wal_record(self.database, record)],
+                preserve_txn_ids=True,
+            )
+            self.position = record.sequence
+            applied += 1
+            if max_records is not None and applied >= max_records:
+                break
+        self.tail_damage = self._reader.tail_damage
+        return applied
+
+    def lag(self) -> int:
+        """How many committed records the follower has not yet applied."""
+        return max(0, self._reader.last_sequence() - self.position)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Follower {self.directory!r} position={self.position} "
+            f"{len(self.maintainer.view_names())} views>"
+        )
