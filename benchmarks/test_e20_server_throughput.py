@@ -1,0 +1,176 @@
+"""E20 — network serving overhead and changefeed fan-out.
+
+The view-server puts a wire between the paper's machinery and its
+callers.  The first table prices that wire per operation — framed
+request/response round trips against the equivalent in-process calls —
+for reads (stored view contents only), writes (the full commit pipeline
+including immediate maintenance), and pings (pure protocol overhead).
+The second table scales changefeed fan-out: one writer streams
+transactions while N subscribers drain the resulting view deltas, so
+the cost of serving an alert stream to many consumers is measured
+end-to-end (commit → maintainer hook → outboxes → sockets).
+
+Set ``REPRO_E20_SMOKE=1`` (CI does) to shrink the workload to a smoke
+test of the same code paths.
+"""
+
+import os
+import threading
+import time
+
+from repro.algebra.expressions import BaseRef
+from repro.bench.reporting import format_table
+from repro.core.maintainer import ViewMaintainer
+from repro.engine.database import Database
+from repro.server import ServerConfig, ServerHandle, ViewClient, ViewServer
+
+SMOKE = bool(os.environ.get("REPRO_E20_SMOKE"))
+TXNS = 30 if SMOKE else 250
+QUERIES = 30 if SMOKE else 400
+FANOUT_TXNS = 20 if SMOKE else 120
+SUBSCRIBER_COUNTS = (1, 4) if SMOKE else (1, 2, 4, 8)
+
+VIEW = BaseRef("r").join(BaseRef("s")).select("C > 4").project(["A", "C"])
+
+
+def _make_state():
+    db = Database()
+    db.create_relation("r", ["A", "B"], [(i, i % 20) for i in range(200)])
+    db.create_relation("s", ["B", "C"], [(b, b // 2) for b in range(20)])
+    maintainer = ViewMaintainer(db)
+    maintainer.define_view("hot", VIEW)
+    return db, maintainer
+
+
+def test_e20_server_throughput(report, benchmark):
+    # ------------------------------------------------------------------
+    # Table 1: the wire premium per operation.
+    # ------------------------------------------------------------------
+    db, maintainer = _make_state()
+    view = maintainer.view("hot")
+    server = ViewServer(db, maintainer, ServerConfig())
+    rows = []
+    with ServerHandle(server) as handle:
+        with ViewClient(port=handle.port) as client:
+            start = time.perf_counter()
+            for _ in range(QUERIES):
+                client.ping()
+            ping_wire = (time.perf_counter() - start) / QUERIES
+
+            start = time.perf_counter()
+            for _ in range(QUERIES):
+                client.query("hot")
+            query_wire = (time.perf_counter() - start) / QUERIES
+
+            start = time.perf_counter()
+            for i in range(TXNS):
+                client.txn(insert={"r": [[10_000 + i, 11]]})
+            txn_wire = (time.perf_counter() - start) / TXNS
+
+    # The in-process equivalents, over identical state shapes.
+    start = time.perf_counter()
+    for _ in range(QUERIES):
+        schema = view.contents.schema
+        [list(schema.decode_values(v)) for v, _ in sorted(view.contents.items())]
+    query_local = (time.perf_counter() - start) / QUERIES
+
+    start = time.perf_counter()
+    for i in range(TXNS):
+        with db.transact() as txn:
+            txn.insert("r", (20_000 + i, 11))
+    txn_local = (time.perf_counter() - start) / TXNS
+
+    rows.append(["ping", f"{ping_wire * 1e6:.0f}", "-", "-"])
+    rows.append(
+        [
+            "query hot",
+            f"{query_wire * 1e6:.0f}",
+            f"{query_local * 1e6:.0f}",
+            f"{query_wire / query_local:.1f}x",
+        ]
+    )
+    rows.append(
+        [
+            "txn insert 1 row",
+            f"{txn_wire * 1e6:.0f}",
+            f"{txn_local * 1e6:.0f}",
+            f"{txn_wire / txn_local:.1f}x",
+        ]
+    )
+    report(
+        format_table(
+            ["operation", "wire us/op", "in-process us/op", "premium"],
+            rows,
+            title=(
+                f"E20a  serving premium per operation "
+                f"({QUERIES} reads, {TXNS} writes, immediate maintenance)"
+            ),
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Table 2: changefeed fan-out scaling.
+    # ------------------------------------------------------------------
+    fanout_rows = []
+    for subscriber_count in SUBSCRIBER_COUNTS:
+        db, maintainer = _make_state()
+        server = ViewServer(db, maintainer, ServerConfig(max_sessions=64))
+        with ServerHandle(server) as handle:
+            subscribers = [
+                ViewClient(port=handle.port) for _ in range(subscriber_count)
+            ]
+            received: list[int] = []
+            threads = []
+            try:
+                for client in subscribers:
+                    client.subscribe("hot")
+
+                def drain(client=None) -> None:
+                    events = client.drain_events(FANOUT_TXNS, timeout=30)
+                    sequences = [e["seq"] for e in events]
+                    assert sequences == sorted(sequences)
+                    received.append(len(events))
+
+                threads = [
+                    threading.Thread(target=drain, kwargs={"client": c})
+                    for c in subscribers
+                ]
+                start = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                with ViewClient(port=handle.port) as writer:
+                    for i in range(FANOUT_TXNS):
+                        writer.txn(insert={"r": [[30_000 + i, 11]]})
+                for thread in threads:
+                    thread.join(60)
+                seconds = time.perf_counter() - start
+            finally:
+                for client in subscribers:
+                    client.close()
+        delivered = sum(received)
+        assert received == [FANOUT_TXNS] * subscriber_count
+        fanout_rows.append(
+            [
+                subscriber_count,
+                FANOUT_TXNS,
+                delivered,
+                f"{seconds:.3f}",
+                f"{delivered / seconds:.0f}",
+            ]
+        )
+    report(
+        format_table(
+            ["subscribers", "txns", "events delivered", "seconds", "events/s"],
+            fanout_rows,
+            title="E20b  changefeed fan-out (1 writer, N live subscribers)",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # The timed kernel: one framed read round trip.
+    # ------------------------------------------------------------------
+    db, maintainer = _make_state()
+    server = ViewServer(db, maintainer, ServerConfig())
+    with ServerHandle(server) as handle:
+        with ViewClient(port=handle.port) as client:
+            benchmark(lambda: client.query("hot"))

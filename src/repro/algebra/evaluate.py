@@ -158,7 +158,6 @@ def join_relations(left: Relation, right: Relation) -> Relation:
         key = tuple(values[i] for i in build_keys)
         table.setdefault(key, []).append((values, count))
 
-    left_width = len(left.schema)
     right_extra_positions = tuple(
         right.schema.index(n) for n in right.schema.names if n not in set(shared)
     )

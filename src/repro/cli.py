@@ -16,6 +16,14 @@ Invocations::
         Tail the WAL in DIR, printing one line per committed
         transaction.  --once drains the log and exits; the default
         polls every S seconds (0.5) until interrupted.
+    python -m repro.cli serve DIR [--host H] [--port P] [--view NAME=SPEC]*
+        Recover the database in DIR (checkpoint + WAL tail) and serve
+        it over the network protocol of docs/server.md.  Each --view
+        re-registers one view using the shell's view grammar, e.g.
+        --view "hot=r join s where C > 5 select A, C"; views named in
+        the checkpoint adopt their stored contents and catch up
+        differentially.  Commits from clients are appended to DIR's
+        WAL.  Ctrl-C shuts down gracefully.
 
 Shell commands::
 
@@ -196,43 +204,50 @@ class Shell:
         return f"created {kind} view {name} ({len(view.contents)} tuples)"
 
     def _parse_view_body(self, body: str) -> Expression:
-        """``<rel> [join <rel>]* [where <cond>] [select <attrs>]``."""
-        select_attrs: list[str] | None = None
-        lowered = body.lower()
-        select_index = lowered.rfind(" select ")
-        if select_index >= 0:
-            select_attrs = [
-                a.strip()
-                for a in body[select_index + len(" select "):].split(",")
-                if a.strip()
-            ]
-            body = body[:select_index]
-            lowered = body.lower()
-        condition: str | None = None
-        where_index = lowered.find(" where ")
-        if where_index >= 0:
-            condition = body[where_index + len(" where "):].strip()
-            body = body[:where_index]
-        relation_names = [
-            token.strip()
-            for token in re.split(r"\s+join\s+", body.strip(), flags=re.IGNORECASE)
-            if token.strip()
-        ]
-        if not relation_names:
-            raise ShellError("a view needs at least one relation")
-        expression: Expression = BaseRef(relation_names[0])
-        for relation_name in relation_names[1:]:
-            expression = expression.join(BaseRef(relation_name))
-        if condition:
-            expression = expression.select(condition)
-        if select_attrs:
-            expression = expression.project(select_attrs)
-        return expression
+        return parse_view_expression(body)
 
     def _show(self, name: str) -> str:
         if name in self.maintainer.view_names():
             return self.maintainer.view(name).contents.pretty()
         return self.database.relation(name).pretty()
+
+
+def parse_view_expression(body: str) -> Expression:
+    """``<rel> [join <rel>]* [where <cond>] [select <attrs>]``.
+
+    The shell's view grammar, shared with ``serve --view NAME=SPEC``.
+    """
+    select_attrs: list[str] | None = None
+    lowered = body.lower()
+    select_index = lowered.rfind(" select ")
+    if select_index >= 0:
+        select_attrs = [
+            a.strip()
+            for a in body[select_index + len(" select "):].split(",")
+            if a.strip()
+        ]
+        body = body[:select_index]
+        lowered = body.lower()
+    condition: str | None = None
+    where_index = lowered.find(" where ")
+    if where_index >= 0:
+        condition = body[where_index + len(" where "):].strip()
+        body = body[:where_index]
+    relation_names = [
+        token.strip()
+        for token in re.split(r"\s+join\s+", body.strip(), flags=re.IGNORECASE)
+        if token.strip()
+    ]
+    if not relation_names:
+        raise ShellError("a view needs at least one relation")
+    expression: Expression = BaseRef(relation_names[0])
+    for relation_name in relation_names[1:]:
+        expression = expression.join(BaseRef(relation_name))
+    if condition:
+        expression = expression.select(condition)
+    if select_attrs:
+        expression = expression.project(select_attrs)
+    return expression
 
 
 def _format_record(record) -> str:
@@ -304,6 +319,100 @@ def run_follow(
         time.sleep(interval)  # pragma: no cover
 
 
+def parse_view_option(text: str) -> tuple[str, Expression]:
+    """One ``NAME=SPEC`` pair from ``serve --view`` into a definition."""
+    name, _, spec = text.partition("=")
+    name = name.strip()
+    if not name or not spec.strip():
+        raise ShellError(
+            f"--view expects NAME=SPEC, e.g. 'hot=r join s where C > 5'; got {text!r}"
+        )
+    return name, parse_view_expression(spec.strip())
+
+
+def build_served_state(directory: str, view_options: list[str]):
+    """Recover DIR and register the requested views; ready to serve.
+
+    Returns ``(recovery, maintainer, replayed)`` — base relations from
+    the newest checkpoint, each ``--view`` restored (adopting
+    checkpointed contents when present, so catch-up is differential),
+    and the WAL tail replayed through the normal commit pipeline.
+    """
+    from repro.core.maintainer import ViewMaintainer
+    from repro.replication.recovery import Recovery
+
+    recovery = Recovery(directory)
+    maintainer = ViewMaintainer(recovery.database)
+    for option in view_options:
+        name, expression = parse_view_option(option)
+        recovery.restore_view(maintainer, name, expression)
+    replayed = recovery.replay()
+    return recovery, maintainer, replayed
+
+
+def run_serve(
+    directory: str,
+    host: str = "127.0.0.1",
+    port: int = 7707,
+    view_options: list[str] | None = None,
+    emit=print,
+    on_start=None,
+) -> int:
+    """The ``serve`` verb: recover DIR, then serve it until interrupted.
+
+    A :class:`~repro.replication.durability.DurabilityManager` is
+    re-attached to the recovered database, so client transactions resume
+    appending to DIR's WAL — a served database stays durable.
+    """
+    import asyncio
+
+    from repro.replication.durability import DurabilityManager
+    from repro.server.server import ServerConfig, ViewServer
+
+    recovery, maintainer, replayed = build_served_state(
+        directory, view_options or []
+    )
+    database = recovery.database
+    durability = DurabilityManager(database, directory)
+    server = ViewServer(
+        database,
+        maintainer,
+        ServerConfig(host=host, port=port),
+        durability=durability,
+    )
+
+    async def _serve() -> None:
+        try:
+            await server.start()
+        except OSError as exc:
+            raise ReproError(f"cannot bind {host}:{port}: {exc}") from exc
+        try:  # Ctrl-C → graceful drain instead of a mid-commit teardown.
+            import signal
+
+            asyncio.get_running_loop().add_signal_handler(
+                signal.SIGINT, lambda: asyncio.ensure_future(server.shutdown())
+            )
+        except (NotImplementedError, RuntimeError, ValueError):  # pragma: no cover
+            pass  # no signal support here (non-main thread, Windows)
+        emit(
+            f"serving {directory} on {host}:{server.port} "
+            f"(replayed {replayed} WAL transaction(s), "
+            f"views: {', '.join(maintainer.view_names()) or 'none'})"
+        )
+        if on_start is not None:  # embedding/test hook, called in-loop
+            on_start(server)
+        try:
+            await server.wait_closed()
+        finally:
+            durability.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        emit("shutting down")
+    return 0
+
+
 def repl(shell: Shell | None = None) -> int:  # pragma: no cover - interactive
     """The interactive loop behind ``python -m repro.cli``."""
     shell = shell if shell is not None else Shell()
@@ -366,6 +475,23 @@ def main(argv: list[str] | None = None) -> int:
         metavar="S",
         help="poll interval in seconds when not --once",
     )
+    serve_parser = commands.add_parser(
+        "serve", help="recover a database and serve it over TCP"
+    )
+    serve_parser.add_argument("directory")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7707)
+    serve_parser.add_argument(
+        "--view",
+        dest="views",
+        action="append",
+        default=[],
+        metavar="NAME=SPEC",
+        help=(
+            "define one served view with the shell grammar, e.g. "
+            "'hot=r join s where C > 5 select A, C' (repeatable)"
+        ),
+    )
     options = parser.parse_args(argv)
 
     try:
@@ -375,6 +501,13 @@ def main(argv: list[str] | None = None) -> int:
             if options.shell:  # pragma: no cover - interactive
                 return repl(Shell(database))
             return 0
+        if options.command == "serve":
+            return run_serve(
+                options.directory,
+                host=options.host,
+                port=options.port,
+                view_options=options.views,
+            )
         run_follow(
             options.directory,
             after=options.after,
@@ -386,6 +519,11 @@ def main(argv: list[str] | None = None) -> int:
         print()
         return 0
     except ReproError as exc:
+        # One line on stderr, exit 1 — never a traceback: a missing or
+        # corrupt directory is an operator mistake, not a library bug.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

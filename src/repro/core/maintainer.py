@@ -296,6 +296,16 @@ class ViewMaintainer:
         self._require_view(name)
         return self._stats[name]
 
+    def all_stats(self) -> dict[str, dict[str, int]]:
+        """Every view's maintenance counters as plain dicts.
+
+        The JSON-ready form served by the view-server's ``stats`` op
+        and convenient for ad-hoc reporting; per-view
+        :class:`MaintenanceStats` objects stay available via
+        :meth:`stats`.
+        """
+        return {name: self._stats[name].as_dict() for name in self.view_names()}
+
     def policy(self, name: str) -> MaintenancePolicy:
         """The registered maintenance policy for one view."""
         self._require_view(name)

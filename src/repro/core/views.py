@@ -10,16 +10,12 @@ counted relation and the bookkeeping the maintainer needs.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Mapping
+from typing import Mapping
 
 from repro.algebra.expressions import Expression, NormalForm, to_normal_form
 from repro.algebra.relation import Delta, Relation
 from repro.algebra.schema import RelationSchema
 from repro.errors import ViewDefinitionError
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.engine.database import Database
-
 
 class ViewDefinition:
     """A named SPJ view definition, validated against a schema catalog."""

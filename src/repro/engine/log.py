@@ -60,6 +60,17 @@ class UpdateLog:
         self._records.append(record)
         return record
 
+    def advance_sequence(self, next_sequence: int) -> None:
+        """Ensure future records get sequences ``>= next_sequence``.
+
+        Recovery and followers call this before replaying a WAL tail so
+        the in-memory log assigns each replayed commit *the same
+        sequence the WAL gave it* — afterwards ``last_sequence()`` (and
+        every view's ``last_refresh_sequence``) is a WAL position,
+        which is what changefeed subscribers resume from.
+        """
+        self._next_sequence = max(self._next_sequence, next_sequence)
+
     def truncate_before(self, sequence: int) -> int:
         """Drop records with ``sequence <`` the given value.
 

@@ -9,7 +9,12 @@ emitted, satisfiability checks, truth-table rows evaluated, …) to an
 optional active :class:`CostRecorder`.
 
 Recording is opt-in and near-zero-cost when inactive: every charge site
-first checks a module-level flag.
+first checks the active recorder, a :class:`contextvars.ContextVar`.
+The contextvar makes :func:`recording` blocks *isolated* — concurrent
+asyncio tasks (the network view-server handles many sessions on one
+event loop) and threads each see only their own recorder, and nesting
+``recording(...)`` inside an active block routes charges to the
+innermost recorder until it exits.
 
 Counter families by prefix (each named counter is charged at exactly
 one call site):
@@ -23,7 +28,9 @@ one call site):
   ``wal_records_read`` from :mod:`repro.replication.wal`, plus
   ``log_replay_transactions`` charged by
   :func:`repro.engine.log.replay_records` during crash recovery and
-  changefeed catch-up.
+  changefeed catch-up;
+* serving (``server_*``) — request, session and changefeed counters
+  charged by :mod:`repro.server` (see ``docs/server.md``).
 
 Usage::
 
@@ -36,6 +43,7 @@ Usage::
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator
 
 
@@ -68,30 +76,39 @@ class CostRecorder:
         return f"<CostRecorder {inner or 'empty'}>"
 
 
-# Module-level active recorder.  Plain module global (not a contextvar):
-# the library is single-threaded by design and this keeps the charge
-# fast-path to one global load and one ``is None`` test.
-_ACTIVE: CostRecorder | None = None
+# The active recorder.  A ContextVar rather than a module global: each
+# thread *and* each asyncio task inherits its own binding, so a server
+# session recording its request cannot observe (or pollute) another
+# session's counters.  The inactive fast path stays one ``get()`` and
+# one ``is None`` test.
+_ACTIVE: ContextVar[CostRecorder | None] = ContextVar(
+    "repro_active_recorder", default=None
+)
 
 
 def active_recorder() -> CostRecorder | None:
     """The recorder charges currently flow to, or ``None``."""
-    return _ACTIVE
+    return _ACTIVE.get()
 
 
 @contextmanager
 def recording(recorder: CostRecorder) -> Iterator[CostRecorder]:
-    """Route all charges to ``recorder`` for the duration of the block."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = recorder
+    """Route all charges to ``recorder`` for the duration of the block.
+
+    Re-entrant: nesting a second ``recording(...)`` routes charges to
+    the innermost recorder until its block exits, then restores the
+    outer one — in *this* context only.  Other threads and asyncio
+    tasks are unaffected.
+    """
+    token = _ACTIVE.set(recorder)
     try:
         yield recorder
     finally:
-        _ACTIVE = previous
+        _ACTIVE.reset(token)
 
 
 def charge(name: str, amount: int = 1) -> None:
     """Charge ``amount`` to counter ``name`` on the active recorder."""
-    if _ACTIVE is not None:
-        _ACTIVE.incr(name, amount)
+    recorder = _ACTIVE.get()
+    if recorder is not None:
+        recorder.incr(name, amount)

@@ -51,6 +51,10 @@ class Follower:
         self.database = checkpoint.build_database()
         #: WAL sequence the replica is current as of.
         self.position = checkpoint.wal_sequence
+        # Replayed commits keep their WAL sequences in the replica's
+        # in-memory log, so follower view refresh positions are the
+        # same WAL positions a server changefeed reports.
+        self.database.log.advance_sequence(self.position + 1)
         #: The follower's own maintainer — define any views on it.
         self.maintainer = ViewMaintainer(self.database, **maintainer_options)
         #: Torn-tail report from the last poll (None when clean).

@@ -75,6 +75,11 @@ class Recovery:
         self.checkpoint_sequence = self._checkpoint.wal_sequence
         #: The recovered database (snapshot state until :meth:`replay`).
         self.database = self._checkpoint.build_database()
+        # Align the in-memory log with the WAL: replayed commits keep
+        # their on-disk sequences, so the recovered history (sequences
+        # included) is indistinguishable from the one that wrote the
+        # log — and view refresh positions are WAL positions.
+        self.database.log.advance_sequence(self.checkpoint_sequence + 1)
         #: Torn-tail report from the last replay (None when clean).
         self.tail_damage: TailDamage | None = None
         #: WAL sequence the database is current as of after replay.

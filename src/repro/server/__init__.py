@@ -1,0 +1,43 @@
+"""The network view-server: asyncio front-end over one database.
+
+The paper's economics — pay maintenance at write time so reads are a
+lookup — only matter if something can *read*.  This package serves a
+:class:`~repro.engine.database.Database` and its
+:class:`~repro.core.maintainer.ViewMaintainer` over a length-prefixed
+JSON wire protocol:
+
+* ``query`` — read a view or relation (optionally filtered/projected)
+  from stored contents; no recomputation, ever;
+* ``txn`` — commit insert/delete batches through the normal pipeline
+  (irrelevance filter + differential maintenance, WAL when durable);
+* ``subscribe`` — live per-view changefeed fan-out with resumable
+  offsets;
+* ``stats`` — cost counters and per-view maintenance statistics.
+
+See ``docs/server.md`` for the protocol, and ``examples/serve_client.py``
+for the end-to-end workflow.
+"""
+
+from repro.server.client import ViewClient
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServerError,
+)
+from repro.server.server import (
+    Changefeed,
+    ServerConfig,
+    ServerHandle,
+    ViewServer,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Changefeed",
+    "ProtocolError",
+    "ServerConfig",
+    "ServerError",
+    "ServerHandle",
+    "ViewClient",
+    "ViewServer",
+]

@@ -1,0 +1,238 @@
+"""A blocking client for the view-server wire protocol.
+
+:class:`ViewClient` is deliberately synchronous — the audience is
+ordinary application code, benchmarks and tests, none of which want an
+event loop of their own.  One client owns one TCP connection; requests
+on it are strictly sequential (open more clients for parallelism, which
+is also how the server's fairness works).
+
+Changefeed events arrive interleaved with responses on the same
+connection.  The client demultiplexes: frames carrying ``event`` are
+buffered internally and handed out by :meth:`next_event` /
+:meth:`drain_events`, frames carrying ``id`` complete the pending call.
+A failed request raises :class:`~repro.server.protocol.ServerError`
+with the server's closed-vocabulary error code; a dropped connection
+(including a slow-consumer disconnect) raises :class:`ConnectionError`.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import deque
+from typing import Any
+
+from repro.server import protocol
+from repro.server.protocol import ServerError
+
+
+class ViewClient:
+    """One blocking connection to a :class:`~repro.server.server.ViewServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Where the server listens.
+    timeout:
+        Socket timeout in seconds for connect and for each response
+        (``None`` blocks forever).
+    max_frame_bytes:
+        Inbound frame bound — match the server's config when raised.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float | None = 10.0,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._stream = self._socket.makefile("rb")
+        self._events: deque[dict[str, Any]] = deque()
+        self._next_id = 1
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # The request/response engine
+    # ------------------------------------------------------------------
+    def call(self, op: str, **params: Any) -> dict[str, Any]:
+        """Issue one request and block for its response's ``result``.
+
+        ``None``-valued parameters are omitted from the wire document.
+        Event frames received while waiting are buffered for
+        :meth:`next_event`.
+        """
+        if self._closed:
+            raise ConnectionError("client is closed")
+        request_id = self._next_id
+        self._next_id += 1
+        doc = {"id": request_id, "op": op}
+        doc.update({k: v for k, v in params.items() if v is not None})
+        self._socket.settimeout(self.timeout)
+        self._socket.sendall(protocol.encode_frame(doc))
+        while True:
+            frame = self._read_frame()
+            if frame is None:
+                raise ConnectionError(
+                    "server closed the connection (a full outbox disconnects "
+                    "slow consumers; see docs/server.md)"
+                )
+            if "event" in frame:
+                self._events.append(frame)
+                continue
+            if frame.get("id") == request_id:
+                if frame.get("ok"):
+                    return frame.get("result", {})
+                error = frame.get("error") or {}
+                raise ServerError(
+                    error.get("code", protocol.E_INTERNAL),
+                    error.get("message", "request failed"),
+                )
+            if frame.get("id") is None and not frame.get("ok", True):
+                # Unsolicited fatal error (admission rejection, framing
+                # violation): the server hangs up after sending it.
+                error = frame.get("error") or {}
+                raise ServerError(
+                    error.get("code", protocol.E_INTERNAL),
+                    error.get("message", "connection refused"),
+                )
+            # A response to an abandoned earlier call: drop it.
+
+    def _read_frame(self) -> dict[str, Any] | None:
+        try:
+            return protocol.read_frame_blocking(self._stream, self.max_frame_bytes)
+        except TimeoutError:  # socket.timeout — let callers decide
+            raise
+        except OSError as exc:
+            raise ConnectionError(f"connection lost: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        """Round-trip check; returns protocol version and catalog names."""
+        return self.call("ping")
+
+    def query(
+        self,
+        target: str,
+        where: str | None = None,
+        select: list[str] | None = None,
+        limit: int | None = None,
+    ) -> dict[str, Any]:
+        """Read a view or relation; rows/counts/attributes/seq.
+
+        ``where`` is a selection condition in the paper's class (it
+        filters the *stored* contents — the server never re-evaluates a
+        view); ``select`` projects attributes (bag semantics: counts
+        merge); ``limit`` truncates the sorted row list.
+        """
+        return self.call(
+            "query", target=target, where=where, select=select, limit=limit
+        )
+
+    def txn(
+        self,
+        insert: dict[str, list] | None = None,
+        delete: dict[str, list] | None = None,
+    ) -> dict[str, Any]:
+        """Commit one transaction of row batches; returns txn id and seq.
+
+        Exactly the in-process commit pipeline runs server-side:
+        net-effect semantics, irrelevance filtering, differential view
+        maintenance, WAL append when the server is durable.
+        """
+        insert_doc = (
+            {name: [list(row) for row in rows] for name, rows in insert.items()}
+            if insert
+            else None
+        )
+        delete_doc = (
+            {name: [list(row) for row in rows] for name, rows in delete.items()}
+            if delete
+            else None
+        )
+        return self.call("txn", insert=insert_doc, delete=delete_doc)
+
+    def subscribe(self, view: str, from_seq: int | None = None) -> dict[str, Any]:
+        """Open a live changefeed on ``view``; returns the subscription.
+
+        ``from_seq`` resumes from a past position: retained deltas with
+        sequence greater than it are delivered first (the server's
+        response reports how many were ``replayed``), then live ones.
+        """
+        return self.call("subscribe", view=view, **{"from": from_seq})
+
+    def unsubscribe(self, subscription: int) -> dict[str, Any]:
+        """Close one changefeed subscription."""
+        return self.call("unsubscribe", subscription=subscription)
+
+    def stats(self) -> dict[str, Any]:
+        """Server cost counters, per-view maintenance stats, session info."""
+        return self.call("stats")
+
+    # ------------------------------------------------------------------
+    # Changefeed consumption
+    # ------------------------------------------------------------------
+    def next_event(self, timeout: float | None = None) -> dict[str, Any] | None:
+        """The next changefeed event, or ``None`` if none arrives in time.
+
+        Buffered events are returned immediately; otherwise the call
+        blocks on the socket up to ``timeout`` seconds (defaulting to
+        the client's timeout).
+        """
+        if self._events:
+            return self._events.popleft()
+        if self._closed:
+            raise ConnectionError("client is closed")
+        self._socket.settimeout(self.timeout if timeout is None else timeout)
+        try:
+            frame = self._read_frame()
+        except TimeoutError:
+            return None
+        if frame is None:
+            raise ConnectionError("server closed the connection")
+        if "event" in frame:
+            return frame
+        # A stray response (e.g. to an abandoned call): ignore it.
+        return None
+
+    def drain_events(
+        self, count: int, timeout: float | None = None
+    ) -> list[dict[str, Any]]:
+        """Collect up to ``count`` events, stopping early on a quiet wire."""
+        events = []
+        while len(events) < count:
+            event = self.next_event(timeout)
+            if event is None:
+                break
+            events.append(event)
+        return events
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._stream.close()
+            self._socket.close()
+        except OSError:  # pragma: no cover - close races are harmless
+            pass
+
+    def __enter__(self) -> "ViewClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<ViewClient {self.host}:{self.port} {state}>"

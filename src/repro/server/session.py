@@ -1,0 +1,217 @@
+"""One connected client: framing loop, outbox, backpressure policy.
+
+A :class:`Session` owns exactly one TCP connection.  Requests are read
+and handled *sequentially* (a client that wants parallelism opens more
+connections), so a session never interleaves two of its own requests;
+different sessions interleave only at ``await`` points, and all
+database work is synchronous — the event loop serializes every commit.
+
+All outbound frames — responses and changefeed events alike — pass
+through one bounded outbox queue drained by a writer task.  That queue
+is the server's backpressure boundary: when a client stops reading, the
+kernel socket buffer fills, the writer task blocks in ``drain()``, the
+outbox fills, and the next frame that does not fit triggers the
+slow-consumer policy — the session is *disconnected*, never awaited,
+so one stalled subscriber cannot wedge the commit path fanning out to
+everyone else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.server import protocol
+from repro.server.protocol import ProtocolError
+
+
+class Session:
+    """State and I/O loops for one connection (server side)."""
+
+    def __init__(self, server, reader, writer, session_id: int) -> None:
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.session_id = session_id
+        config = server.config
+        self.outbox: asyncio.Queue = asyncio.Queue(maxsize=config.outbox_frames)
+        #: subscription id → view name (ids are per-session).
+        self.subscriptions: dict[int, str] = {}
+        self._next_subscription_id = 1
+        #: Events staged by a ``subscribe`` handler, flushed right after
+        #: its response so the response frame always precedes them.
+        self.pending_events: list[dict[str, Any]] = []
+        self.closing = False
+        self.close_reason: str | None = None
+        self._aborted = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._writer_task: asyncio.Task | None = None
+        self.task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Main loops
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        """Read → handle → respond until EOF, error, or shutdown."""
+        self._writer_task = asyncio.create_task(self._writer_loop())
+        try:
+            await self._read_loop()
+        except asyncio.CancelledError:
+            pass
+        except ProtocolError as exc:
+            # Framing violations are fatal: report once, then hang up
+            # (the stream can no longer be trusted to re-synchronize).
+            self.send_frame(protocol.response_error(None, exc.code, str(exc)))
+            self.close_reason = self.close_reason or exc.code
+        except (ConnectionError, OSError):
+            self.close_reason = self.close_reason or "io_error"
+        finally:
+            await self._shutdown()
+
+    async def _read_loop(self) -> None:
+        config = self.server.config
+        while not self.closing:
+            doc = await protocol.read_frame_async(self.reader, config.max_frame_bytes)
+            if doc is None or self.closing:
+                break
+            self._idle.clear()
+            try:
+                await self._handle(doc)
+            finally:
+                self._idle.set()
+
+    async def _handle(self, doc: dict[str, Any]) -> None:
+        config = self.server.config
+        try:
+            response = await asyncio.wait_for(
+                self.server.dispatch(self, doc), config.request_timeout
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            self.pending_events.clear()
+            response = protocol.response_error(
+                doc.get("id"),
+                protocol.E_TIMEOUT,
+                f"request exceeded the {config.request_timeout}s limit",
+            )
+        self.send_frame(response)
+        # Subscription catch-up: staged after the response so a resumed
+        # subscriber always sees its confirmation before any event.
+        events, self.pending_events = self.pending_events, []
+        for event in events:
+            if not self.send_frame(event):
+                break
+
+    async def _writer_loop(self) -> None:
+        try:
+            while True:
+                frame = await self.outbox.get()
+                if frame is None:
+                    break
+                self.writer.write(frame)
+                await self.writer.drain()
+                self.server.recorder.incr("server_bytes_written", len(frame))
+        except (ConnectionError, OSError):
+            self.closing = True
+            self.close_reason = self.close_reason or "io_error"
+
+    # ------------------------------------------------------------------
+    # Outbound frames and the slow-consumer policy
+    # ------------------------------------------------------------------
+    def send_frame(self, doc: dict[str, Any]) -> bool:
+        """Enqueue one outbound frame; False when the session is done for.
+
+        Never blocks.  A full outbox means the peer has stopped reading
+        faster than the server produces: the session is aborted on the
+        spot (slow-consumer policy) rather than awaited.
+        """
+        if self.closing:
+            return False
+        try:
+            self.outbox.put_nowait(protocol.encode_frame(doc))
+        except asyncio.QueueFull:
+            self.server.recorder.incr("server_slow_consumer_disconnects")
+            self.abort("slow_consumer")
+            return False
+        return True
+
+    def abort(self, reason: str) -> None:
+        """Drop the connection immediately, without flushing the outbox."""
+        if self.closing:
+            return
+        self.closing = True
+        self._aborted = True
+        self.close_reason = reason
+        if self._writer_task is not None:
+            self._writer_task.cancel()
+        transport = self.writer.transport
+        if transport is not None:
+            transport.abort()
+        # Wake the read loop if it is parked in read_frame_async.
+        if self.task is not None:
+            self.task.cancel()
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    def new_subscription(self, view_name: str) -> int:
+        """Register a changefeed subscription; returns its id."""
+        subscription_id = self._next_subscription_id
+        self._next_subscription_id += 1
+        self.subscriptions[subscription_id] = view_name
+        return subscription_id
+
+    def drop_subscription(self, subscription_id: int) -> str | None:
+        """Forget one subscription; returns its view name (None if absent)."""
+        return self.subscriptions.pop(subscription_id, None)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    async def drain_close(self, timeout: float) -> None:
+        """Graceful-shutdown path: finish in-flight work, then close.
+
+        Waits (bounded) for the request being handled to complete —
+        this is what "drains in-flight transactions" means: a commit
+        that has started gets to finish and its response gets queued —
+        then stops the read loop; :meth:`run`'s cleanup flushes the
+        outbox so queued responses still reach the client.
+        """
+        self.closing = True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            pass
+        if self.task is not None:
+            self.task.cancel()
+
+    async def _shutdown(self) -> None:
+        self.closing = True
+        if self._writer_task is not None:
+            if self._aborted:
+                self._writer_task.cancel()
+            else:
+                try:
+                    self.outbox.put_nowait(None)
+                except asyncio.QueueFull:
+                    self._writer_task.cancel()
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(self._writer_task),
+                    self.server.config.drain_timeout,
+                )
+            except (asyncio.TimeoutError, TimeoutError, asyncio.CancelledError):
+                self._writer_task.cancel()
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        self.server.release_session(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Session {self.session_id} "
+            f"{len(self.subscriptions)} subscriptions"
+            f"{' closing' if self.closing else ''}>"
+        )

@@ -5,7 +5,7 @@ from __future__ import annotations
 import random
 
 import pytest
-from repro import BaseRef, Database, Relation, RelationSchema, ViewMaintainer
+from repro import BaseRef, Database, Relation, RelationSchema
 
 
 # ----------------------------------------------------------------------

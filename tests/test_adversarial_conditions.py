@@ -13,7 +13,6 @@ from repro.algebra.conditions import Atom, parse_condition
 from repro.algebra.evaluate import evaluate
 from repro.algebra.expressions import BaseRef, to_normal_form
 from repro.algebra.schema import RelationSchema
-from repro.core.consistency import check_view_consistency
 from repro.core.irrelevance import RelevanceFilter, is_irrelevant_update
 from repro.core.maintainer import ViewMaintainer
 from repro.core.planner import evaluate_normal_form

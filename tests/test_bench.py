@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.harness import Measurement, ratio, run_measured, sweep
+from repro.bench.harness import ratio, run_measured, sweep
 from repro.bench.reporting import format_series, format_table
 from repro.instrumentation import CostRecorder, active_recorder, charge, recording
 

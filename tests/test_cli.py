@@ -1,9 +1,24 @@
-"""Unit tests for the interactive shell."""
+"""Unit tests for the interactive shell and the CLI verbs."""
+
+import asyncio
+import threading
 
 import pytest
 
-from repro.cli import Shell, ShellError
+from repro.cli import (
+    Shell,
+    ShellError,
+    main,
+    parse_view_expression,
+    parse_view_option,
+    run_serve,
+)
+from repro.core.maintainer import ViewMaintainer
+from repro.engine.database import Database
 from repro.errors import ReproError
+from repro.replication.durability import DurabilityManager
+from repro.replication.follower import Follower
+from repro.server import ViewClient
 
 
 @pytest.fixture
@@ -169,3 +184,150 @@ class TestShellPlumbing:
         shell.execute("CREATE TABLE r (A)")
         shell.execute("INSERT INTO r VALUES (1)")
         assert "1 row(s) inserted" in shell.execute("Insert Into r Values (2)")
+
+
+# ----------------------------------------------------------------------
+# The serve --view grammar
+# ----------------------------------------------------------------------
+class TestViewOptions:
+    def test_parse_view_option(self):
+        name, expression = parse_view_option("hot=r join s where C > 5 select A, C")
+        assert name == "hot"
+        assert expression.base_names() == ("r", "s")
+
+    def test_parse_view_option_bad_format(self):
+        for text in ("no-equals-here", "=spec", "name=", "name=   "):
+            with pytest.raises(ShellError):
+                parse_view_option(text)
+
+    def test_parse_view_expression_needs_a_relation(self):
+        with pytest.raises(ShellError):
+            parse_view_expression("   ")
+
+
+# ----------------------------------------------------------------------
+# CLI verbs: one-line errors, never tracebacks
+# ----------------------------------------------------------------------
+def _durable_dir(tmp_path) -> str:
+    """A WAL directory: checkpoint of r/s + view hot, then one commit."""
+    directory = str(tmp_path / "wal")
+    db = Database()
+    db.create_relation("r", ["A", "B"], [(1, 10)])
+    db.create_relation("s", ["B", "C"], [(10, 5)])
+    maintainer = ViewMaintainer(db)
+    maintainer.define_view(
+        "hot", parse_view_expression("r join s where C > 4 select A, C")
+    )
+    durability = DurabilityManager(db, directory, sync="never")
+    durability.checkpoint(maintainer)
+    with db.transact() as txn:
+        txn.insert("r", (2, 10))
+    durability.close()
+    return directory
+
+
+def _assert_one_line_error(capsys, code: int) -> None:
+    captured = capsys.readouterr()
+    assert code == 1
+    assert captured.err.startswith("error: ")
+    assert len(captured.err.strip().splitlines()) == 1
+    assert "Traceback" not in captured.err
+
+
+class TestVerbErrors:
+    def test_recover_missing_directory(self, tmp_path, capsys):
+        code = main(["recover", str(tmp_path / "nope")])
+        _assert_one_line_error(capsys, code)
+
+    def test_recover_corrupt_checkpoint(self, tmp_path, capsys):
+        (tmp_path / "checkpoint-000001.json").write_text("{ not json")
+        code = main(["recover", str(tmp_path)])
+        _assert_one_line_error(capsys, code)
+
+    def test_follow_missing_directory(self, tmp_path, capsys):
+        code = main(["follow", str(tmp_path / "nope"), "--once"])
+        _assert_one_line_error(capsys, code)
+
+    def test_follow_corrupt_segment(self, tmp_path, capsys):
+        (tmp_path / "wal-abc.jsonl").write_text("garbage\n")
+        code = main(["follow", str(tmp_path), "--once"])
+        _assert_one_line_error(capsys, code)
+
+    def test_serve_missing_directory(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path / "nope"), "--port", "0"])
+        _assert_one_line_error(capsys, code)
+
+    def test_serve_corrupt_checkpoint(self, tmp_path, capsys):
+        (tmp_path / "checkpoint-000007.json").write_text("]certainly not json")
+        code = main(["serve", str(tmp_path), "--port", "0"])
+        _assert_one_line_error(capsys, code)
+
+    def test_serve_bad_view_spec(self, tmp_path, capsys):
+        directory = _durable_dir(tmp_path)
+        code = main(["serve", directory, "--port", "0", "--view", "malformed"])
+        _assert_one_line_error(capsys, code)
+
+
+class TestVerbHappyPaths:
+    def test_recover_summary(self, tmp_path, capsys):
+        directory = _durable_dir(tmp_path)
+        code = main(["recover", directory])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "replayed 1 transaction(s)" in captured.out
+        assert "r: 2 tuples" in captured.out
+        assert "hot" in captured.out  # checkpointed view is listed
+
+    def test_follow_prints_records(self, tmp_path, capsys):
+        directory = _durable_dir(tmp_path)
+        code = main(["follow", directory, "--once"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "seq=1" in captured.out
+        assert "r:+1/-0" in captured.out
+
+    def test_serve_round_trip(self, tmp_path):
+        directory = _durable_dir(tmp_path)
+        captured: dict = {}
+        started = threading.Event()
+        emitted: list[str] = []
+
+        def on_start(server) -> None:
+            captured["server"] = server
+            captured["loop"] = asyncio.get_running_loop()
+            started.set()
+
+        thread = threading.Thread(
+            target=run_serve,
+            kwargs=dict(
+                directory=directory,
+                port=0,
+                view_options=["hot=r join s where C > 4 select A, C"],
+                emit=emitted.append,
+                on_start=on_start,
+            ),
+        )
+        thread.start()
+        try:
+            assert started.wait(10), "serve never started"
+            server = captured["server"]
+            with ViewClient(port=server.port) as client:
+                # The --view adopted the checkpointed contents, then the
+                # WAL tail caught it up differentially.
+                answer = client.query("hot")
+                assert answer["rows"] == [[1, 5], [2, 5]]
+                # A served commit keeps the database durable.
+                result = client.txn(insert={"r": [[3, 10]]})
+                assert client.stats()["wal_position"] == result["seq"] == 2
+        finally:
+            asyncio.run_coroutine_threadsafe(
+                captured["server"].shutdown(), captured["loop"]
+            ).result(10)
+            thread.join(10)
+        assert emitted and "replayed 1 WAL transaction(s)" in emitted[0]
+        assert "views: hot" in emitted[0]
+        # The commit reached the WAL on disk: a follower replays it.
+        follower = Follower(directory)
+        follower.poll()
+        assert follower.position == 2
+        assert (3, 10) in follower.database.relation("r")

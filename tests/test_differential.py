@@ -102,8 +102,6 @@ class TestComputeViewDelta:
         """Example 5.4's six cases, verified against set algebra."""
         expr = BaseRef("r").join(BaseRef("s"))
         nf = to_normal_form(expr, catalog)
-        r_before = [(1, 10), (2, 20)]
-        s_before = [(10, 1), (20, 2)]
         r_delta = Delta(catalog["r"], inserted=[(3, 30)], deleted=[(1, 10)])
         s_delta = Delta(catalog["s"], inserted=[(30, 3)], deleted=[(10, 1)])
         # Build post-state.

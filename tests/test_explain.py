@@ -3,7 +3,6 @@
 import pytest
 
 from repro.algebra.expressions import BaseRef, to_normal_form
-from repro.algebra.schema import RelationSchema
 from repro.core.maintainer import ViewMaintainer
 from repro.core.planner import RowPlanner
 from repro.engine.database import Database

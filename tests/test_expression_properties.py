@@ -14,7 +14,6 @@ catalog, then checks the big structural invariants:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

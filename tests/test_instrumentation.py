@@ -1,0 +1,134 @@
+"""Tests for contextvar-based cost recording.
+
+The recorder must be *isolated*: nested ``recording`` blocks route to
+the innermost recorder, and concurrent threads or asyncio tasks (the
+view-server's sessions) each see only their own recorder.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.instrumentation import (
+    CostRecorder,
+    active_recorder,
+    charge,
+    recording,
+)
+
+
+class TestRecorder:
+    def test_incr_get_snapshot_reset(self):
+        recorder = CostRecorder()
+        recorder.incr("a")
+        recorder.incr("a", 4)
+        assert recorder.get("a") == 5
+        assert recorder.get("missing") == 0
+        snap = recorder.snapshot()
+        assert snap == {"a": 5}
+        recorder.incr("a")
+        assert snap == {"a": 5}  # snapshot is a copy
+        recorder.reset()
+        assert recorder.get("a") == 0
+
+
+class TestRecordingContext:
+    def test_charge_without_active_recorder_is_a_noop(self):
+        assert active_recorder() is None
+        charge("orphan", 100)  # must not raise
+
+    def test_basic_activation(self):
+        recorder = CostRecorder()
+        with recording(recorder):
+            assert active_recorder() is recorder
+            charge("x", 2)
+        assert active_recorder() is None
+        assert recorder.get("x") == 2
+
+    def test_nested_innermost_wins_then_restores(self):
+        outer, inner = CostRecorder(), CostRecorder()
+        with recording(outer):
+            charge("n", 1)
+            with recording(inner):
+                charge("n", 10)
+                assert active_recorder() is inner
+            assert active_recorder() is outer
+            charge("n", 2)
+        assert outer.get("n") == 3
+        assert inner.get("n") == 10
+
+    def test_reentrant_same_recorder(self):
+        recorder = CostRecorder()
+        with recording(recorder):
+            with recording(recorder):
+                charge("n")
+            charge("n")
+        assert recorder.get("n") == 2
+
+    def test_restores_on_exception(self):
+        recorder = CostRecorder()
+        try:
+            with recording(recorder):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert active_recorder() is None
+
+
+class TestThreadIsolation:
+    def test_threads_do_not_share_the_active_recorder(self):
+        main_recorder = CostRecorder()
+        seen_in_thread: list[CostRecorder | None] = []
+        thread_recorder = CostRecorder()
+
+        def worker() -> None:
+            # A fresh thread starts with no active recorder, even while
+            # the main thread is inside a recording block.
+            seen_in_thread.append(active_recorder())
+            charge("thread_orphan")
+            with recording(thread_recorder):
+                charge("thread_local", 7)
+
+        with recording(main_recorder):
+            charge("main", 1)
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join(10)
+            charge("main", 1)
+
+        assert seen_in_thread == [None]
+        assert thread_recorder.snapshot() == {"thread_local": 7}
+        assert main_recorder.snapshot() == {"main": 2}
+
+
+class TestAsyncioTaskIsolation:
+    def test_concurrent_tasks_record_independently(self):
+        async def session(recorder: CostRecorder, amount: int) -> None:
+            with recording(recorder):
+                charge("work", amount)
+                await asyncio.sleep(0.01)  # interleave with the other task
+                charge("work", amount)
+
+        async def main() -> tuple[CostRecorder, CostRecorder]:
+            a, b = CostRecorder(), CostRecorder()
+            await asyncio.gather(session(a, 1), session(b, 100))
+            return a, b
+
+        a, b = asyncio.run(main())
+        assert a.snapshot() == {"work": 2}
+        assert b.snapshot() == {"work": 200}
+
+    def test_task_does_not_leak_into_the_loop(self):
+        async def main() -> CostRecorder | None:
+            recorder = CostRecorder()
+
+            async def inner() -> None:
+                with recording(recorder):
+                    charge("inner")
+                    await asyncio.sleep(0)
+
+            await asyncio.create_task(inner())
+            return active_recorder()
+
+        assert asyncio.run(main()) is None

@@ -8,7 +8,6 @@ operands — views used as bases of other views — the subtraction is
 essential.
 """
 
-import pytest
 
 from repro.algebra.relation import Delta, Relation
 from repro.algebra.schema import RelationSchema

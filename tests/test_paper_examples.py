@@ -13,7 +13,7 @@ from repro.algebra.schema import RelationSchema
 from repro.core.differential import compute_view_delta
 from repro.core.irrelevance import is_irrelevant_update
 from repro.core.maintainer import ViewMaintainer
-from repro.core.truthtable import DeltaRowChoice, enumerate_delta_rows, render_row
+from repro.core.truthtable import enumerate_delta_rows, render_row
 from repro.engine.database import Database
 from repro.workloads.scenarios import example_4_1
 

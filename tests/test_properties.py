@@ -15,7 +15,6 @@ transactions through the full pipeline, checking:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Unit and property tests for the satisfiability procedures."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.algebra.conditions import Condition, Conjunction, parse_condition

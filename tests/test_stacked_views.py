@@ -108,7 +108,7 @@ class TestPropagation:
 
     def test_upstream_skip_skips_downstream(self, db, maintainer):
         maintainer.define_view("narrow", BaseRef("r").select("A < 0"))
-        over = maintainer.define_view("over", BaseRef("narrow").project(["B"]))
+        maintainer.define_view("over", BaseRef("narrow").project(["B"]))
         stats = maintainer.stats("over")
         with db.transact() as txn:
             txn.insert("r", (100, 1))  # irrelevant to 'narrow'

@@ -88,7 +88,6 @@ class TestMaintenance:
 
     def test_irrelevant_updates_screened_per_branch(self, db):
         view = UnionView(db, "hot", _branches())
-        before = view.updates_applied
         with db.transact() as txn:
             # cheap order from a non-priority customer: irrelevant to
             # the amount branch; the join branch cannot be screened
