@@ -37,9 +37,12 @@ Shell commands::
     show <name>                 -- relation or view contents
     stats <view>                -- maintenance counters
     explain <view> changing <rel>[, <rel>]*
-                                -- the maintenance plan for an update
+                                -- the compiled maintenance plan: the
+                                   invariant/variant screening split,
+                                   join order, and index bindings
     recommend indexes <view>    -- indexes the planner would probe
     create index on <rel> (<attr>, ...)
+    drop index on <rel> (<attr>, ...)
     tables / views              -- list catalog entries
     drop view <name>
     help
@@ -145,6 +148,14 @@ class Shell:
                 raise ShellError("an index needs at least one attribute")
             self.database.create_index(match.group(1), attrs)
             return f"created index on {match.group(1)}({', '.join(attrs)})"
+        match = re.match(
+            r"drop\s+index\s+on\s+(\w+)\s*\(([^)]*)\)\s*$", line, re.IGNORECASE
+        )
+        if match:
+            attrs = [a.strip() for a in match.group(2).split(",") if a.strip()]
+            if self.database.drop_index(match.group(1), attrs):
+                return f"dropped index on {match.group(1)}({', '.join(attrs)})"
+            return f"no index on {match.group(1)}({', '.join(attrs)})"
         if lowered.startswith("explain "):
             match = re.match(
                 r"explain\s+(\w+)\s+changing\s+(.*)$", line, re.IGNORECASE

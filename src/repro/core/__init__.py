@@ -5,6 +5,8 @@
   :mod:`irrelevance`.
 * Section 5 — differential re-evaluation: :mod:`counting`,
   :mod:`truthtable`, :mod:`planner`, :mod:`differential`.
+* Compiled plans: :mod:`compiled`, :mod:`plancache` — the
+  built-once/executed-often packaging of both sections.
 * Orchestration: :mod:`views`, :mod:`maintainer`, :mod:`consistency`.
 """
 
@@ -34,7 +36,13 @@ from repro.core.irrelevance import (
     filter_delta,
 )
 from repro.core.truthtable import DeltaRowChoice, enumerate_delta_rows, render_row
-from repro.core.differential import compute_view_delta
+from repro.core.differential import (
+    changed_positions_for,
+    compute_view_delta,
+    execute_planner,
+)
+from repro.core.compiled import CompiledViewPlan
+from repro.core.plancache import PlanCache, PlanCacheStats
 from repro.core.views import ViewDefinition, MaterializedView
 from repro.core.maintainer import ViewMaintainer, MaintenancePolicy
 from repro.core.consistency import check_view_consistency
@@ -60,7 +68,12 @@ __all__ = [
     "DeltaRowChoice",
     "enumerate_delta_rows",
     "render_row",
+    "changed_positions_for",
     "compute_view_delta",
+    "execute_planner",
+    "CompiledViewPlan",
+    "PlanCache",
+    "PlanCacheStats",
     "ViewDefinition",
     "MaterializedView",
     "ViewMaintainer",

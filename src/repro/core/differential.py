@@ -63,7 +63,7 @@ def _old_operand(
     return out
 
 
-class _LazyOperandEntry:
+class LazyOperandEntry:
     """Per-occurrence operand mapping, built on first access.
 
     Materializing an OLD operand scans the whole base relation; when
@@ -114,6 +114,76 @@ def _delta_operand(
     return out
 
 
+def changed_positions_for(
+    normal_form: NormalForm, deltas: Mapping[str, Delta]
+) -> tuple[int, ...]:
+    """Occurrence positions carrying a non-empty delta, in order.
+
+    The truth-table shape (and therefore which cached
+    :class:`~repro.core.planner.RowPlanner` applies) is a function of
+    exactly this tuple — it is the key the compiled-plan cache uses to
+    reuse planners across transactions touching the same relations.
+    """
+    return tuple(
+        i
+        for i, occ in enumerate(normal_form.occurrences)
+        if occ.name in deltas and not deltas[occ.name].is_empty()
+    )
+
+
+def build_operands(
+    normal_form: NormalForm,
+    post_instances: Mapping[str, Relation],
+    deltas: Mapping[str, Delta],
+    changed_positions: Sequence[int],
+) -> list[LazyOperandEntry]:
+    """Per-occurrence lazy operand mappings for one plan execution.
+
+    The per-transaction half of differential evaluation: operands wrap
+    *this* transaction's post-state and deltas, while the planner that
+    will consume them is a per-view artifact reusable across
+    transactions.
+    """
+    changed = set(changed_positions)
+    qualified = normal_form.qualified_schema
+    operands: list[LazyOperandEntry] = []
+    for i, occ in enumerate(normal_form.occurrences):
+        try:
+            post = post_instances[occ.name]
+        except KeyError:
+            raise MaintenanceError(
+                f"post-state for relation {occ.name!r} was not supplied"
+            ) from None
+        occ_schema = qualified.project_schema(occ.qualified_names())
+        delta = deltas.get(occ.name)
+        operands.append(LazyOperandEntry(post, delta, occ_schema, i in changed))
+    return operands
+
+
+def execute_planner(
+    planner: RowPlanner,
+    post_instances: Mapping[str, Relation],
+    deltas: Mapping[str, Delta],
+    changed_positions: Sequence[int],
+    index_probe: IndexProbe | None = None,
+) -> Delta:
+    """Run one (possibly cached) planner over one transaction's deltas.
+
+    The plan-execution half of :func:`compute_view_delta`:
+    ``planner`` supplies the join order, step plans and filters (plan
+    construction), while the operands, truth-table rows and index-probe
+    closure are built fresh from this transaction's state.
+    """
+    normal_form = planner.normal_form
+    charge("differential_updates")
+    operands = build_operands(
+        normal_form, post_instances, deltas, changed_positions
+    )
+    rows = enumerate_delta_rows(len(normal_form.occurrences), changed_positions)
+    merged = planner.evaluate_rows(rows, operands, index_probe=index_probe)
+    return merged.to_delta()
+
+
 def compute_view_delta(
     normal_form: NormalForm,
     post_instances: Mapping[str, Relation],
@@ -145,41 +215,18 @@ def compute_view_delta(
     Delta
         Over the view's output schema; apply with ``delta.apply_to(view)``.
     """
-    occurrences = normal_form.occurrences
-    changed_positions = [
-        i
-        for i, occ in enumerate(occurrences)
-        if occ.name in deltas and not deltas[occ.name].is_empty()
-    ]
-    view_schema = normal_form.output_schema()
+    changed_positions = changed_positions_for(normal_form, deltas)
     if not changed_positions:
-        return Delta(view_schema)
-
-    charge("differential_updates")
-    qualified = normal_form.qualified_schema
-    operands: list[_LazyOperandEntry] = []
-    for i, occ in enumerate(occurrences):
-        try:
-            post = post_instances[occ.name]
-        except KeyError:
-            raise MaintenanceError(
-                f"post-state for relation {occ.name!r} was not supplied"
-            ) from None
-        occ_schema = qualified.project_schema(occ.qualified_names())
-        delta = deltas.get(occ.name)
-        operands.append(
-            _LazyOperandEntry(post, delta, occ_schema, i in changed_positions)
-        )
+        return Delta(normal_form.output_schema())
 
     planner = RowPlanner(
         normal_form,
         changed_positions,
         share_subexpressions=share_subexpressions,
-        index_probe=index_probe,
     )
-    rows = enumerate_delta_rows(len(occurrences), changed_positions)
-    merged = planner.evaluate_rows(rows, operands)
-    return merged.to_delta()
+    return execute_planner(
+        planner, post_instances, deltas, changed_positions, index_probe=index_probe
+    )
 
 
 # ----------------------------------------------------------------------

@@ -183,6 +183,7 @@ class _DisjunctScreen:
 
     __slots__ = (
         "occurrence",
+        "invariant",
         "variant_evaluable",
         "variant_non_evaluable",
         "dist",
@@ -192,6 +193,7 @@ class _DisjunctScreen:
     def __init__(self, occurrence: Occurrence, disjunct, substituted_vars) -> None:
         self.occurrence = occurrence
         split = split_conjunction(disjunct, substituted_vars)
+        self.invariant = split.invariant
         self.variant_evaluable = split.variant_evaluable
         self.variant_non_evaluable = split.variant_non_evaluable
         self.dead = False
@@ -367,6 +369,77 @@ class RelevanceFilter:
         """Algorithm 4.1's T_out: the relevant subset of ``tuples``."""
         return [values for values in tuples if self.is_relevant(values)]
 
+    def screen_delta(self, delta: Delta) -> tuple[Delta, FilterStats]:
+        """Screen one net-effect delta; returns (filtered delta, call stats).
+
+        The execution half of Algorithm 4.1: the filter's once-per-view
+        precomputation (normalization, invariant split, APSP) is reused
+        across calls — this is what the compiled-plan cache banks on —
+        while the returned :class:`FilterStats` describe *this* call
+        only.  Cumulative counts keep accruing on :attr:`stats`.
+        """
+        call_stats = FilterStats()
+
+        def keep(values: ValueTuple) -> bool:
+            charge("filter_tuples_checked")
+            call_stats.checked += 1
+            self.stats.checked += 1
+            relevant = self._decide(values)
+            if relevant:
+                call_stats.relevant += 1
+                self.stats.relevant += 1
+            else:
+                call_stats.irrelevant += 1
+                self.stats.irrelevant += 1
+            return relevant
+
+        inserted = {
+            values: count for values, count in delta.inserted.items() if keep(values)
+        }
+        deleted = {
+            values: count for values, count in delta.deleted.items() if keep(values)
+        }
+        return Delta.from_counts(delta.schema, inserted, deleted), call_stats
+
+    def describe(self) -> str:
+        """The Definition 4.2 split, one line per (occurrence, disjunct).
+
+        Shows which atoms of each disjunct are *invariant* (their
+        constraint graph and APSP are built once, at compile time) and
+        which are *variant* (re-evaluated per screened tuple) — the
+        textual form of what :meth:`is_relevant` executes.
+        """
+        if not self._participates:
+            return (
+                f"  {self.relation_name}: does not participate; "
+                "every update is irrelevant"
+            )
+        if self._always_relevant:
+            return (
+                f"  {self.relation_name}: condition has an empty disjunct "
+                "(constant TRUE); every update is relevant, no screening"
+            )
+        lines = []
+        for screen in self._screens:
+            occ = screen.occurrence
+            inv = " and ".join(str(a) for a in screen.invariant) or "(none)"
+            ve = " and ".join(str(a) for a in screen.variant_evaluable) or "(none)"
+            vne = (
+                " and ".join(str(a) for a in screen.variant_non_evaluable)
+                or "(none)"
+            )
+            lines.append(
+                f"  {self.relation_name}#{occ.position}: "
+                f"invariant [{inv}]; variant evaluable [{ve}]; "
+                f"variant non-evaluable [{vne}]"
+            )
+        if not lines:
+            lines.append(
+                f"  {self.relation_name}: every disjunct's invariant part is "
+                "unsatisfiable; all updates screened out"
+            )
+        return "\n".join(lines)
+
     def __repr__(self) -> str:
         return (
             f"<RelevanceFilter view over {self.relation_name!r}, "
@@ -388,14 +461,4 @@ def filter_delta(
     """
     schema = schema if schema is not None else delta.schema
     relevance = RelevanceFilter(normal_form, relation_name, schema)
-    inserted = {
-        values: count
-        for values, count in delta.inserted.items()
-        if relevance.is_relevant(values)
-    }
-    deleted = {
-        values: count
-        for values, count in delta.deleted.items()
-        if relevance.is_relevant(values)
-    }
-    return Delta.from_counts(delta.schema, inserted, deleted), relevance.stats
+    return relevance.screen_delta(delta)

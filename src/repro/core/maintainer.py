@@ -14,28 +14,31 @@ database's commit pipeline:
   net deltas per view, and :meth:`refresh` applies the accumulated
   change on demand, through exactly the same differential machinery.
 
-The maintainer also manages lazily-created hash indexes on base
-relations so the planner can probe large OLD operands by join key
-instead of re-hashing them on every transaction.
+Both paths execute **compiled maintenance plans**
+(:class:`~repro.core.compiled.CompiledViewPlan`): the relevance
+screens, join orders, pushdown decisions and index bindings are built
+once per view — eagerly at registration — cached in a
+:class:`~repro.core.plancache.PlanCache`, and invalidated when a DDL
+event (index create/drop, relation drop, view re-registration) could
+stale them.  Every consumer of the maintainer — immediate commits,
+deferred ``refresh``, WAL-replay recovery, changefeed followers, the
+network view-server — therefore runs the same cached plan; the
+``use_plan_cache`` switch disables reuse for ablation measurements.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Callable, Iterable, Mapping, Optional
+from typing import Callable, Iterable, Mapping
 
 from repro.algebra.expressions import Expression
 from repro.algebra.relation import Delta, Relation
-from repro.algebra.tags import Tag
-from repro.core.differential import compute_view_delta
-from repro.core.irrelevance import filter_delta
-from repro.core.planner import ProbeFn
+from repro.core.compiled import CompiledViewPlan
+from repro.core.plancache import PlanCache
 from repro.core.views import MaterializedView, ViewDefinition
 from repro.engine.database import Database
 from repro.errors import MaintenanceError, UnknownViewError
 from repro.instrumentation import charge
-
-ValueTuple = tuple[int, ...]
 
 
 class MaintenancePolicy(enum.Enum):
@@ -58,6 +61,9 @@ class MaintenanceStats:
         "tuples_irrelevant",
         "view_tuples_inserted",
         "view_tuples_deleted",
+        "plan_cache_hits",
+        "plan_cache_misses",
+        "plan_cache_invalidations",
     )
 
     def __init__(self) -> None:
@@ -68,6 +74,9 @@ class MaintenanceStats:
         self.tuples_irrelevant = 0
         self.view_tuples_inserted = 0
         self.view_tuples_deleted = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.plan_cache_invalidations = 0
 
     def as_dict(self) -> dict[str, int]:
         """Counter values as a plain dict (for reports)."""
@@ -94,6 +103,10 @@ class ViewMaintainer:
     use_indexes:
         Lazily create hash indexes on base relations so OLD operands
         are probed rather than re-hashed per transaction (default on).
+    use_plan_cache:
+        Reuse compiled maintenance plans across transactions (default
+        on; E21's ablation switch — off compiles a fresh plan per
+        maintenance call, restoring the pre-cache behavior).
     auto_verify:
         After every maintenance step, recompute the view from scratch
         and compare — a self-checking mode for tests and debugging.
@@ -105,12 +118,14 @@ class ViewMaintainer:
         use_relevance_filter: bool = True,
         share_subexpressions: bool = True,
         use_indexes: bool = True,
+        use_plan_cache: bool = True,
         auto_verify: bool = False,
     ) -> None:
         self.database = database
         self.use_relevance_filter = use_relevance_filter
         self.share_subexpressions = share_subexpressions
         self.use_indexes = use_indexes
+        self.use_plan_cache = use_plan_cache
         self.auto_verify = auto_verify
         self._views: dict[str, MaterializedView] = {}
         self._policies: dict[str, MaintenancePolicy] = {}
@@ -119,7 +134,12 @@ class ViewMaintainer:
         #: Per view: names it reads (base relations and upstream views).
         self._dependencies: dict[str, frozenset[str]] = {}
         self._subscribers: dict[str, list[Callable[[MaterializedView, Delta], None]]] = {}
+        self._plan_cache = PlanCache()
+        #: True while _maintain runs: a plan's own lazy index creation
+        #: must not invalidate the plan executing it.
+        self._in_maintenance = False
         database.add_commit_hook(self._on_commit)
+        database.add_ddl_hook(self._on_ddl)
 
     # ------------------------------------------------------------------
     # View management
@@ -218,11 +238,20 @@ class ViewMaintainer:
     ) -> MaterializedView:
         name = view.definition.name
         view.last_refresh_sequence = self.database.log.last_sequence()
+        # Re-registration under a previously used name must never serve
+        # the old definition's plan (drop_view already invalidates; this
+        # also covers plans that survived an earlier detach()).
+        self._plan_cache.invalidate(name)
         self._views[name] = view
         self._policies[name] = policy
         self._pending[name] = {}
         self._stats[name] = MaintenanceStats()
         self._dependencies[name] = referenced
+        if self.use_plan_cache:
+            # Compile eagerly: registration is the natural compile
+            # point, and the first transaction then executes a cached
+            # plan like every later one.
+            self._plan_cache.put(name, self._compile_plan(view.definition))
         return view
 
     def drop_view(self, name: str) -> None:
@@ -243,6 +272,74 @@ class ViewMaintainer:
         del self._stats[name]
         del self._dependencies[name]
         self._subscribers.pop(name, None)
+        self._plan_cache.invalidate(name)
+
+    # ------------------------------------------------------------------
+    # Compiled plans
+    # ------------------------------------------------------------------
+    def _compile_plan(self, definition: ViewDefinition) -> CompiledViewPlan:
+        """Build a fresh compiled plan for one registered definition."""
+        referenced = frozenset(definition.normal_form.relation_names)
+        return CompiledViewPlan(
+            definition,
+            self.database,
+            self._combined_catalog(),
+            view_operands=referenced & self._views.keys(),
+            share_subexpressions=self.share_subexpressions,
+            use_indexes=self.use_indexes,
+        )
+
+    def _plan_for(self, name: str) -> CompiledViewPlan:
+        """The plan a maintenance call executes — cached when possible.
+
+        With the cache enabled this is a hit except right after an
+        invalidation (the miss recompiles and re-caches).  With the
+        cache disabled every call is a counted miss compiling a
+        throwaway plan — the E21 ablation's cost model.
+        """
+        view = self._views[name]
+        stats = self._stats[name]
+        fingerprint = view.definition.normal_form.fingerprint()
+        plan = self._plan_cache.get(name, fingerprint)
+        if plan is not None:
+            stats.plan_cache_hits += 1
+            return plan
+        stats.plan_cache_misses += 1
+        plan = self._compile_plan(view.definition)
+        if self.use_plan_cache:
+            self._plan_cache.put(name, plan)
+        return plan
+
+    def compiled_plan(self, name: str) -> CompiledViewPlan | None:
+        """The currently cached plan for ``name`` (None when absent).
+
+        Purely observational: does not compile and does not touch the
+        hit/miss counters.
+        """
+        self._require_view(name)
+        return self._plan_cache.peek(name)
+
+    def plan_cache_stats(self) -> dict[str, int]:
+        """Maintainer-wide plan-cache counters (hits/misses/invalidations)."""
+        return self._plan_cache.stats.as_dict()
+
+    def _on_ddl(self, event: str, relation_name: str) -> None:
+        """Invalidate plans a schema change could have staled.
+
+        Index drops are the correctness-critical case — a cached plan
+        holds direct bindings to index objects that stop being
+        maintained the moment they leave the manager.  Index creation,
+        relation drop/re-creation and anything else touching an operand
+        invalidate too: the cheapest sound answer is to recompile, and
+        compilation is exactly what this cache made rare.  The one
+        exception is index creation *by a running plan* (the lazy
+        binding path), which must not invalidate the plan executing it.
+        """
+        if event == "create_index" and self._in_maintenance:
+            return
+        for name, deps in self._dependencies.items():
+            if relation_name in deps and self._plan_cache.invalidate(name):
+                self._stats[name].plan_cache_invalidations += 1
 
     # ------------------------------------------------------------------
     # Combined catalogs (base relations + registered views)
@@ -312,36 +409,17 @@ class ViewMaintainer:
         return self._policies[name]
 
     def explain(self, name: str, changed_relations: Iterable[str]) -> str:
-        """Describe the maintenance plan for a hypothetical update.
+        """Describe the compiled maintenance plan for a hypothetical update.
 
         ``changed_relations`` names the base relations a transaction
-        would touch; the returned text shows the truth-table rows, the
-        delta-first join order, and the pushdown decisions the planner
-        would execute — useful when deciding which indexes to declare
-        or why a view is expensive to maintain.
+        would touch; the returned text shows the invariant/variant
+        screening split, the truth-table rows, the delta-first join
+        order with its pushdown decisions, and the hash index each OLD
+        probe binds — the plan a real transaction with this shape would
+        execute, served from the same cache.
         """
-        from repro.core.planner import RowPlanner
-
         self._require_view(name)
-        normal_form = self._views[name].definition.normal_form
-        changed_set = set(changed_relations)
-        positions = [
-            i
-            for i, occ in enumerate(normal_form.occurrences)
-            if occ.name in changed_set
-        ]
-        if not positions:
-            return (
-                f"view {name!r}: none of {sorted(changed_set)} participate; "
-                "no maintenance needed"
-            )
-        planner = RowPlanner(
-            normal_form,
-            positions,
-            share_subexpressions=self.share_subexpressions,
-            index_probe=None,
-        )
-        return planner.describe()
+        return self._plan_for(name).describe(changed_relations)
 
     def recommended_indexes(self, name: str) -> tuple[tuple[str, tuple[str, ...]], ...]:
         """Indexes the planner would probe while maintaining this view.
@@ -352,14 +430,13 @@ class ViewMaintainer:
         the indexes the lazy path would create on first use.  Returns
         sorted ``(relation_name, attributes)`` pairs.
         """
-        from repro.core.planner import RowPlanner
-
         self._require_view(name)
-        normal_form = self._views[name].definition.normal_form
+        plan = self._plan_for(name)
+        normal_form = plan.normal_form
         recommendations: set[tuple[str, tuple[str, ...]]] = set()
         for changed in range(len(normal_form.occurrences)):
-            planner = RowPlanner(normal_form, [changed])
-            for step in planner._steps:
+            planner = plan.planner_for([changed])
+            for step in planner.steps:
                 if step.position == changed or not step.link_attr_names:
                     continue
                 occurrence = normal_form.occurrences[step.position]
@@ -423,6 +500,7 @@ class ViewMaintainer:
     def detach(self) -> None:
         """Stop observing commits (views stop being maintained)."""
         self.database.remove_commit_hook(self._on_commit)
+        self.database.remove_ddl_hook(self._on_ddl)
 
     def _require_view(self, name: str) -> None:
         if name not in self._views:
@@ -498,41 +576,37 @@ class ViewMaintainer:
     def _maintain(
         self, name: str, view: MaterializedView, deltas: Mapping[str, Delta]
     ) -> Delta:
-        """Run the filter + differential pipeline; returns the applied
-        view delta (empty when everything was screened)."""
+        """Execute the compiled plan; returns the applied view delta
+        (empty when everything was screened)."""
         stats = self._stats[name]
         stats.transactions_seen += 1
-        normal_form = view.definition.normal_form
+        plan = self._plan_for(name)
 
-        relevant: dict[str, Delta] = {}
-        for relation_name, delta in deltas.items():
-            if self.use_relevance_filter:
-                filtered, filter_stats = filter_delta(
-                    normal_form, relation_name, delta
-                )
-                stats.tuples_screened += filter_stats.checked
-                stats.tuples_irrelevant += filter_stats.irrelevant
-                if not filtered.is_empty():
-                    relevant[relation_name] = filtered
-            else:
-                if not delta.is_empty():
-                    relevant[relation_name] = delta
+        self._in_maintenance = True
+        try:
+            relevant: dict[str, Delta] = {}
+            for relation_name, delta in deltas.items():
+                if self.use_relevance_filter:
+                    filtered, filter_stats = plan.screen(relation_name, delta)
+                    stats.tuples_screened += filter_stats.checked
+                    stats.tuples_irrelevant += filter_stats.irrelevant
+                    if not filtered.is_empty():
+                        relevant[relation_name] = filtered
+                else:
+                    if not delta.is_empty():
+                        relevant[relation_name] = delta
 
-        if not relevant:
-            # Every update was provably irrelevant: the view is already
-            # up to date — the payoff Section 4 is after.
-            stats.transactions_skipped += 1
-            charge("transactions_skipped_irrelevant")
-            view.last_refresh_sequence = self.database.log.last_sequence()
-            return Delta(view.contents.schema)
+            if not relevant:
+                # Every update was provably irrelevant: the view is
+                # already up to date — the payoff Section 4 is after.
+                stats.transactions_skipped += 1
+                charge("transactions_skipped_irrelevant")
+                view.last_refresh_sequence = self.database.log.last_sequence()
+                return Delta(view.contents.schema)
 
-        view_delta = compute_view_delta(
-            normal_form,
-            self._combined_instances(),
-            relevant,
-            share_subexpressions=self.share_subexpressions,
-            index_probe=self._index_probe_factory(view, relevant),
-        )
+            view_delta = plan.compute_delta(self._combined_instances(), relevant)
+        finally:
+            self._in_maintenance = False
         stats.view_tuples_inserted += len(view_delta.inserted)
         stats.view_tuples_deleted += len(view_delta.deleted)
         view.apply_delta(view_delta)
@@ -549,51 +623,11 @@ class ViewMaintainer:
                 callback(view, view_delta)
         return view_delta
 
-    def _index_probe_factory(
-        self, view: MaterializedView, deltas: Mapping[str, Delta]
-    ):
-        """Build the planner's OLD-operand index hook for one call.
-
-        Indexes store the *post-commit* base relation, while OLD
-        semantics wants ``r − d_r = post − i_r``; probe results are
-        therefore screened against the inserted tuples of the delta in
-        hand.  When the relevance filter dropped some inserts, those
-        tuples do survive in the probe results — harmlessly, because an
-        irrelevant tuple fails the view condition in every combination
-        and so contributes nothing to any truth-table row.
-        """
-        if not self.use_indexes:
-            return None
-        normal_form = view.definition.normal_form
-
-        def probe_hook(
-            position: int, link_attrs: tuple[str, ...]
-        ) -> Optional[ProbeFn]:
-            occurrence = normal_form.occurrences[position]
-            if occurrence.name in self._views:
-                # View-typed operands have no persistent index; the
-                # planner falls back to hashing their contents.
-                return None
-            base_attrs = tuple(occurrence.inverse[q] for q in link_attrs)
-            index = self.database.indexes.lookup(occurrence.name, base_attrs)
-            if index is None:
-                index = self.database.create_index(occurrence.name, base_attrs)
-            delta = deltas.get(occurrence.name)
-            inserted = delta.inserted if delta is not None else {}
-
-            def probe(key: ValueTuple):
-                for values in index.probe(key):
-                    if values in inserted:
-                        continue
-                    yield values, Tag.OLD, 1
-
-            return probe
-
-        return probe_hook
-
     def __repr__(self) -> str:
         return (
             f"<ViewMaintainer {len(self._views)} views, "
             f"filter={'on' if self.use_relevance_filter else 'off'}, "
-            f"sharing={'on' if self.share_subexpressions else 'off'}>"
+            f"sharing={'on' if self.share_subexpressions else 'off'}, "
+            f"plan_cache={'on' if self.use_plan_cache else 'off'} "
+            f"({len(self._plan_cache)} plans)>"
         )

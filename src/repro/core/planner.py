@@ -62,8 +62,15 @@ ProbeFn = Callable[[ValueTuple], Iterable[ProbeRow]]
 IndexProbe = Callable[[int, tuple[str, ...]], Optional[ProbeFn]]
 
 
-class _StepPlan:
-    """Static plan for joining one operand onto the accumulator."""
+class StepPlan:
+    """Static plan for joining one operand onto the accumulator.
+
+    Step plans are pure *plan-construction* artifacts: they hold the
+    resolved hash-join links, prefilter/postfilter predicates and key
+    positions, and are reused verbatim across every execution of the
+    owning :class:`RowPlanner` (and, through
+    :class:`repro.core.compiled.CompiledViewPlan`, across transactions).
+    """
 
     __slots__ = (
         "position",
@@ -105,6 +112,23 @@ class _StepPlan:
             if postfilter_atoms
             else None
         )
+
+    def describe(self, operand_name: str, step_index: int) -> str:
+        """One human-readable line for this step of the plan."""
+        parts = [f"step {step_index}: {operand_name}"]
+        if self.eq_links:
+            links = ", ".join(
+                f"{name} = acc[{pos}]{f' + {shift}' if shift else ''}"
+                for pos, name, shift in self.eq_links
+            )
+            parts.append(f"hash-join on [{links}]")
+        elif step_index:
+            parts.append("cross join (no equality link)")
+        if self.prefilter is not None:
+            parts.append("prefiltered")
+        if self.postfilter is not None:
+            parts.append("post-filtered")
+        return "; ".join(parts)
 
 
 class RowPlanner:
@@ -174,7 +198,7 @@ class RowPlanner:
 
         assigned = [False] * len(pushable)
         bound: set[str] = set()
-        steps: list[_StepPlan] = []
+        steps: list[StepPlan] = []
         acc_schema: RelationSchema | None = None
 
         for step_index, position in enumerate(self.order):
@@ -210,7 +234,7 @@ class RowPlanner:
                 assigned[idx] = True
 
             steps.append(
-                _StepPlan(
+                StepPlan(
                     position,
                     operand_schema,
                     new_acc_schema,
@@ -223,7 +247,7 @@ class RowPlanner:
             acc_schema = new_acc_schema
 
         assert acc_schema is not None
-        self._steps = steps
+        self._steps: tuple[StepPlan, ...] = tuple(steps)
         self._final_schema = acc_schema
         self._final_filter = (
             compile_condition(nf.condition, acc_schema)
@@ -268,13 +292,20 @@ class RowPlanner:
         self,
         rows: Iterable[Rows],
         operands: Sequence[Mapping[DeltaRowChoice, TaggedRelation]],
+        index_probe: IndexProbe | None = None,
     ) -> TaggedRelation:
         """Evaluate every row and merge the projected, tagged results.
 
         ``operands[position][choice]`` supplies the tagged tuples of
         each occurrence under each truth-table choice; DELTA entries are
-        only consulted for changed positions.
+        only consulted for changed positions.  ``index_probe`` answers
+        OLD-operand probes for *this* execution; when omitted, the hook
+        supplied at construction applies.  Separating the two is what
+        lets one cached planner serve many transactions, each with its
+        own delta-screened probe closure.
         """
+        if index_probe is None:
+            index_probe = self.index_probe
         memo: dict[tuple, TaggedRelation] = {}
         hash_cache: dict[tuple[int, DeltaRowChoice], dict] = {}
         merged = TaggedRelation(self._output_schema)
@@ -284,7 +315,7 @@ class RowPlanner:
         for row in rows:
             charge("delta_rows_evaluated")
             result = self._eval_prefix(
-                len(self._steps) - 1, row, operands, memo, hash_cache
+                len(self._steps) - 1, row, operands, memo, hash_cache, index_probe
             )
             self._project_into(result, merged)
         return merged
@@ -296,6 +327,7 @@ class RowPlanner:
         operands: Sequence[Mapping[DeltaRowChoice, TaggedRelation]],
         memo: dict,
         hash_cache: dict,
+        index_probe: IndexProbe | None,
     ) -> TaggedRelation:
         key = tuple(row[self._steps[j].position] for j in range(step_index + 1))
         if self.share:
@@ -309,8 +341,12 @@ class RowPlanner:
         if step_index == 0:
             result = self._load_first_operand(step, choice, operands)
         else:
-            acc = self._eval_prefix(step_index - 1, row, operands, memo, hash_cache)
-            result = self._join_step(acc, step, choice, operands, hash_cache)
+            acc = self._eval_prefix(
+                step_index - 1, row, operands, memo, hash_cache, index_probe
+            )
+            result = self._join_step(
+                acc, step, choice, operands, hash_cache, index_probe
+            )
 
         if self.share:
             memo[key] = result
@@ -318,7 +354,7 @@ class RowPlanner:
 
     def _load_first_operand(
         self,
-        step: _StepPlan,
+        step: StepPlan,
         choice: DeltaRowChoice,
         operands: Sequence[Mapping[DeltaRowChoice, TaggedRelation]],
     ) -> TaggedRelation:
@@ -334,16 +370,17 @@ class RowPlanner:
     def _join_step(
         self,
         acc: TaggedRelation,
-        step: _StepPlan,
+        step: StepPlan,
         choice: DeltaRowChoice,
         operands: Sequence[Mapping[DeltaRowChoice, TaggedRelation]],
         hash_cache: dict,
+        index_probe: IndexProbe | None,
     ) -> TaggedRelation:
         out = TaggedRelation(step.acc_schema)
         if acc.is_empty():
             return out
 
-        probe = self._probe_for(step, choice, operands, hash_cache)
+        probe = self._probe_for(step, choice, operands, hash_cache, index_probe)
         eq_links = step.eq_links
         postfilter = step.postfilter
         for acc_values, acc_tag, acc_count in acc.items():
@@ -363,10 +400,11 @@ class RowPlanner:
 
     def _probe_for(
         self,
-        step: _StepPlan,
+        step: StepPlan,
         choice: DeltaRowChoice,
         operands: Sequence[Mapping[DeltaRowChoice, TaggedRelation]],
         hash_cache: dict,
+        index_probe: IndexProbe | None,
     ) -> ProbeFn:
         """A probe function over the operand, preferring a caller index.
 
@@ -376,10 +414,10 @@ class RowPlanner:
         """
         if (
             choice is DeltaRowChoice.OLD
-            and self.index_probe is not None
+            and index_probe is not None
             and step.link_attr_names
         ):
-            indexed = self.index_probe(step.position, step.link_attr_names)
+            indexed = index_probe(step.position, step.link_attr_names)
             if indexed is not None:
                 prefilter = step.prefilter
                 if prefilter is None:
@@ -411,6 +449,11 @@ class RowPlanner:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def steps(self) -> tuple[StepPlan, ...]:
+        """The resolved join steps, in execution order."""
+        return self._steps
+
     def describe(self) -> str:
         """A human-readable account of the evaluation plan.
 
@@ -439,20 +482,7 @@ class RowPlanner:
         )
         for index, step in enumerate(self._steps):
             occ = nf.occurrences[step.position]
-            parts = [f"step {index}: {occ.name}"]
-            if step.eq_links:
-                links = ", ".join(
-                    f"{name} = acc[{pos}]{f' + {shift}' if shift else ''}"
-                    for pos, name, shift in step.eq_links
-                )
-                parts.append(f"hash-join on [{links}]")
-            elif index:
-                parts.append("cross join (no equality link)")
-            if step.prefilter is not None:
-                parts.append("prefiltered")
-            if step.postfilter is not None:
-                parts.append("post-filtered")
-            lines.append("  " + "; ".join(parts))
+            lines.append("  " + step.describe(occ.name, index))
         if self._final_filter is not None:
             lines.append("final pass: full DNF condition re-check")
         lines.append(

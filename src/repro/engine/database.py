@@ -30,6 +30,11 @@ from repro.errors import SchemaError, UnknownRelationError
 
 CommitHook = Callable[[int, Mapping[str, Delta]], None]
 
+#: A schema/DDL observer: ``hook(event, relation_name)`` where event is
+#: one of ``"create_relation"``, ``"drop_relation"``, ``"create_index"``,
+#: ``"drop_index"``.
+DdlHook = Callable[[str, str], None]
+
 
 class Database:
     """An in-memory relational database with commit-time maintenance."""
@@ -39,7 +44,9 @@ class Database:
         self._next_txn_id = 1
         self.log = UpdateLog()
         self.indexes = IndexManager()
+        self.indexes.on_change = self._notify_ddl
         self._commit_hooks: list[CommitHook] = []
+        self._ddl_hooks: list[DdlHook] = []
 
     # ------------------------------------------------------------------
     # Schema management
@@ -65,6 +72,7 @@ class Database:
                 raise SchemaError(f"duplicate initial row {row!r} in {name!r}")
             relation.add(row)
         self._relations[name] = relation
+        self._notify_ddl("create_relation", name)
         return relation
 
     def drop_relation(self, name: str) -> None:
@@ -77,6 +85,7 @@ class Database:
         # run over a live view of it.
         for index in list(self.indexes.indexes_on(name)):
             self.indexes.drop_index(name, index.attributes)
+        self._notify_ddl("drop_relation", name)
 
     def relation(self, name: str) -> Relation:
         """The live base relation named ``name``."""
@@ -102,6 +111,10 @@ class Database:
         return self.indexes.create_index(
             self.relation(relation_name), relation_name, attributes
         )
+
+    def drop_index(self, relation_name: str, attributes: Sequence[str]) -> bool:
+        """Drop a hash index; returns True when one existed."""
+        return self.indexes.drop_index(relation_name, attributes)
 
     # ------------------------------------------------------------------
     # Transactions
@@ -185,6 +198,28 @@ class Database:
             self._commit_hooks.remove(hook)
         except ValueError:
             pass
+
+    def add_ddl_hook(self, hook: DdlHook) -> None:
+        """Register a schema-change observer.
+
+        Hooks fire on ``create_relation``/``drop_relation`` and on real
+        index-set changes (``create_index``/``drop_index``), including
+        ones made directly through :attr:`indexes`.  View maintainers
+        use this to invalidate compiled maintenance plans whose join
+        order or index bindings the change could stale.
+        """
+        self._ddl_hooks.append(hook)
+
+    def remove_ddl_hook(self, hook: DdlHook) -> None:
+        """Unregister a previously added DDL hook (no-op when absent)."""
+        try:
+            self._ddl_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def _notify_ddl(self, event: str, relation_name: str) -> None:
+        for hook in self._ddl_hooks:
+            hook(event, relation_name)
 
     def _apply_commit(self, txn: Transaction, deltas: Mapping[str, Delta]) -> None:
         """Apply a transaction's net effect (called by Transaction.commit)."""

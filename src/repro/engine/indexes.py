@@ -12,7 +12,7 @@ one covers the join attributes of an "old" base operand.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.algebra.relation import Delta, Relation
 from repro.errors import SchemaError
@@ -92,10 +92,20 @@ class HashIndex:
 
 
 class IndexManager:
-    """All indexes of one database, kept consistent across commits."""
+    """All indexes of one database, kept consistent across commits.
+
+    ``on_change`` is an optional observer called as
+    ``on_change(event, relation_name)`` whenever the *set* of indexes
+    actually changes (``event`` is ``"create_index"`` or
+    ``"drop_index"``).  The owning :class:`~repro.engine.database.Database`
+    points it at its DDL-hook broadcast so compiled maintenance plans
+    holding index bindings are invalidated even when callers mutate the
+    manager directly rather than through the database facade.
+    """
 
     def __init__(self) -> None:
         self._indexes: dict[tuple[str, tuple[str, ...]], HashIndex] = {}
+        self.on_change: "Callable[[str, str], None] | None" = None
 
     def create_index(self, relation: Relation, relation_name: str,
                      attributes: Sequence[str]) -> HashIndex:
@@ -106,11 +116,16 @@ class IndexManager:
             return existing
         index = HashIndex(relation, relation_name, attributes)
         self._indexes[key] = index
+        if self.on_change is not None:
+            self.on_change("create_index", relation_name)
         return index
 
     def drop_index(self, relation_name: str, attributes: Sequence[str]) -> bool:
         """Remove an index; returns True when one existed."""
-        return self._indexes.pop((relation_name, tuple(attributes)), None) is not None
+        existed = self._indexes.pop((relation_name, tuple(attributes)), None) is not None
+        if existed and self.on_change is not None:
+            self.on_change("drop_index", relation_name)
+        return existed
 
     def lookup(self, relation_name: str,
                attributes: Sequence[str]) -> HashIndex | None:

@@ -23,6 +23,10 @@ one call site):
   truth-table row counts, satisfiability checks;
 * maintenance — ``transactions_skipped_irrelevant`` and the per-view
   counters mirrored in :class:`repro.core.maintainer.MaintenanceStats`;
+* plan cache — ``plan_cache_hits``, ``plan_cache_misses``,
+  ``plan_cache_invalidations`` charged by
+  :class:`repro.core.plancache.PlanCache` as compiled maintenance plans
+  are served, compiled, and discarded;
 * durability (``wal_*``) — ``wal_records_appended``,
   ``wal_bytes_written``, ``wal_fsyncs``, ``wal_segments_rotated``,
   ``wal_records_read`` from :mod:`repro.replication.wal`, plus

@@ -566,6 +566,7 @@ class ViewServer:
         result = {
             "counters": self.recorder.snapshot(),
             "views": views,
+            "plan_cache": self.maintainer.plan_cache_stats(),
             "sessions": {
                 "open": len(self._sessions),
                 "max": self.config.max_sessions,

@@ -143,3 +143,53 @@ class TestCloneData:
         with clone.transact() as txn:
             txn.insert("r", (9, 9))
         assert calls == []
+
+
+class TestDdlHooks:
+    def test_create_and_drop_relation_events(self, db):
+        events = []
+        db.add_ddl_hook(lambda event, name: events.append((event, name)))
+        db.create_relation("s", ["X"])
+        db.drop_relation("s")
+        assert ("create_relation", "s") in events
+        assert ("drop_relation", "s") in events
+
+    def test_index_events_via_facade(self, db):
+        events = []
+        db.add_ddl_hook(lambda event, name: events.append((event, name)))
+        db.create_index("r", ["A"])
+        db.drop_index("r", ["A"])
+        assert events == [("create_index", "r"), ("drop_index", "r")]
+
+    def test_index_events_via_manager_directly(self, db):
+        events = []
+        db.add_ddl_hook(lambda event, name: events.append((event, name)))
+        db.indexes.create_index(db.relation("r"), "r", ["A"])
+        db.indexes.drop_index("r", ["A"])
+        assert events == [("create_index", "r"), ("drop_index", "r")]
+
+    def test_no_event_for_noop_index_changes(self, db):
+        events = []
+        db.add_ddl_hook(lambda event, name: events.append((event, name)))
+        db.create_index("r", ["A"])
+        db.create_index("r", ["A"])  # already exists
+        db.drop_index("r", ["A"])
+        assert not db.drop_index("r", ["A"])  # already gone
+        assert events == [("create_index", "r"), ("drop_index", "r")]
+
+    def test_drop_relation_reports_its_index_drops(self, db):
+        events = []
+        db.create_index("r", ["A"])
+        db.add_ddl_hook(lambda event, name: events.append((event, name)))
+        db.drop_relation("r")
+        assert ("drop_index", "r") in events
+        assert events[-1] == ("drop_relation", "r")
+
+    def test_remove_ddl_hook(self, db):
+        events = []
+        hook = lambda event, name: events.append(event)
+        db.add_ddl_hook(hook)
+        db.remove_ddl_hook(hook)
+        db.remove_ddl_hook(hook)  # no-op when absent
+        db.create_index("r", ["A"])
+        assert events == []

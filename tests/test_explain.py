@@ -90,3 +90,50 @@ class TestMaintainerExplain:
 
     def test_projection_listed(self, maintainer):
         assert "projection: A, D" in maintainer.explain("v", ["r"])
+
+
+class TestCompiledPlanExplain:
+    def test_screening_split_shown(self, maintainer):
+        text = maintainer.explain("v", ["r"])
+        assert "compiled plan for view 'v'" in text
+        assert "relevance screens" in text
+        assert "invariant [" in text
+        assert "variant evaluable [" in text
+
+    def test_invariant_vs_variant_atoms(self, db):
+        m = ViewMaintainer(db)
+        m.define_view(
+            "w",
+            BaseRef("r").join(BaseRef("s")).select("A < 10 and C > 1"),
+        )
+        text = m.explain("w", ["r"])
+        # Substituting an r-tuple grounds A < 10 (variant evaluable)
+        # while C > 1 stays invariant across the whole batch.
+        assert "invariant [C > 1]" in text
+        assert "variant evaluable [A < 10]" in text
+
+    def test_index_bindings_listed(self, maintainer):
+        text = maintainer.explain("v", ["r"])
+        assert "index bindings" in text
+        assert "probes hash index" in text
+        assert "will be created on first use" in text
+
+    def test_existing_index_shown_as_bound(self, db, maintainer):
+        db.create_index("s", ["B"])
+        text = maintainer.explain("v", ["r"])
+        assert "s(B) [bound]" in text
+
+    def test_view_operand_flagged(self, db):
+        m = ViewMaintainer(db)
+        m.define_view("base_v", BaseRef("r").select("A < 10"))
+        m.define_view(
+            "stacked",
+            BaseRef("base_v").join(BaseRef("t")).select("B = C"),
+        )
+        text = m.explain("stacked", ["t"])
+        assert "base_v is a view operand" in text
+
+    def test_screens_only_for_changed_relations(self, maintainer):
+        text = maintainer.explain("v", ["r"])
+        assert "  r#" in text
+        assert "  s#" not in text

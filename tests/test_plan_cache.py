@@ -1,0 +1,357 @@
+"""Tests for compiled maintenance plans and the plan cache.
+
+Covers eager compilation at registration, hit/miss accounting across
+commits, DDL-driven invalidation (index create/drop, relation drop,
+view re-registration under the same name), the stale-index-binding
+regression, the cache-disabled ablation, byte-for-byte agreement of
+live commits vs. WAL replay vs. a changefeed follower executing the
+same plans, and a property test that plan reuse never changes view
+contents compared to fresh-plan runs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BaseRef,
+    Database,
+    DurabilityManager,
+    Follower,
+    MaintenancePolicy,
+    ViewMaintainer,
+    check_view_consistency,
+    recover,
+)
+from repro.core.compiled import CompiledViewPlan
+from repro.core.plancache import PlanCache
+from repro.instrumentation import CostRecorder, recording
+
+VIEW_EXPR = (
+    BaseRef("r")
+    .join(BaseRef("s"))
+    .select("A < 10 and B = C")
+    .project(["A", "D"])
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_relation("r", ["A", "B"], [(1, 2), (5, 10)])
+    database.create_relation("s", ["C", "D"], [(2, 20), (10, 30)])
+    return database
+
+
+@pytest.fixture
+def maintainer(db):
+    m = ViewMaintainer(db)
+    m.define_view("v", VIEW_EXPR)
+    return m
+
+
+class TestPlanCacheUnit:
+    def test_get_miss_then_put_then_hit(self, db, maintainer):
+        cache = PlanCache()
+        plan = maintainer.compiled_plan("v")
+        assert cache.get("w") is None
+        cache.put("w", plan)
+        assert cache.get("w") is plan
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_fingerprint_mismatch_counts_as_miss(self, db, maintainer):
+        cache = PlanCache()
+        plan = maintainer.compiled_plan("v")
+        cache.put("w", plan)
+        assert cache.get("w", fingerprint=("something", "else")) is None
+        assert cache.stats.misses == 1
+        assert "w" not in cache
+
+    def test_invalidate_counts_only_real_evictions(self, db, maintainer):
+        cache = PlanCache()
+        assert not cache.invalidate("w")
+        assert cache.stats.invalidations == 0
+        cache.put("w", maintainer.compiled_plan("v"))
+        assert cache.invalidate("w")
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_all(self, db, maintainer):
+        cache = PlanCache()
+        plan = maintainer.compiled_plan("v")
+        cache.put("a", plan)
+        cache.put("b", plan)
+        assert cache.invalidate_all() == 2
+        assert cache.stats.invalidations == 2
+        assert len(cache) == 0
+
+    def test_charges_flow_to_recorder(self, db, maintainer):
+        cache = PlanCache()
+        recorder = CostRecorder()
+        with recording(recorder):
+            cache.get("w")
+            cache.put("w", maintainer.compiled_plan("v"))
+            cache.get("w")
+            cache.invalidate("w")
+        assert recorder.get("plan_cache_misses") == 1
+        assert recorder.get("plan_cache_hits") == 1
+        assert recorder.get("plan_cache_invalidations") == 1
+
+
+class TestEagerCompilation:
+    def test_plan_exists_right_after_registration(self, db, maintainer):
+        plan = maintainer.compiled_plan("v")
+        assert isinstance(plan, CompiledViewPlan)
+        assert set(plan.screens()) == {"r", "s"}
+
+    def test_commits_hit_the_registration_plan(self, db, maintainer):
+        plan = maintainer.compiled_plan("v")
+        db.apply(inserts={"r": [(3, 2)]})
+        db.apply(inserts={"s": [(2, 40)]})
+        assert maintainer.compiled_plan("v") is plan
+        stats = maintainer.stats("v")
+        assert stats.plan_cache_hits == 2
+        assert stats.plan_cache_misses == 0
+
+    def test_planner_shape_reused_across_transactions(self, db, maintainer):
+        plan = maintainer.compiled_plan("v")
+        db.apply(inserts={"r": [(3, 2)]})
+        planner = plan.planner_for([0])
+        db.apply(inserts={"r": [(4, 2)]})
+        assert plan.planner_for([0]) is planner
+
+    def test_maintained_contents_stay_correct(self, db, maintainer):
+        db.apply(inserts={"r": [(3, 2)], "s": [(2, 40)]})
+        db.apply(deletes={"r": [(1, 2)]})
+        check_view_consistency(maintainer.view("v"), db.instances())
+
+
+class TestInvalidation:
+    def test_create_index_invalidates_dependent_plans(self, db, maintainer):
+        plan = maintainer.compiled_plan("v")
+        db.create_index("s", ["C"])
+        assert maintainer.compiled_plan("v") is None
+        assert maintainer.plan_cache_stats()["plan_cache_invalidations"] == 1
+        db.apply(inserts={"r": [(3, 2)]})
+        fresh = maintainer.compiled_plan("v")
+        assert fresh is not None and fresh is not plan
+        assert maintainer.stats("v").plan_cache_misses == 1
+        check_view_consistency(maintainer.view("v"), db.instances())
+
+    def test_unrelated_relation_ddl_leaves_plan_cached(self, db, maintainer):
+        plan = maintainer.compiled_plan("v")
+        db.create_relation("u", ["X"], [(1,)])
+        db.create_index("u", ["X"])
+        db.drop_relation("u")
+        assert maintainer.compiled_plan("v") is plan
+
+    def test_lazy_index_creation_does_not_self_invalidate(self, db, maintainer):
+        db.apply(inserts={"r": [(3, 2)]})
+        plan = maintainer.compiled_plan("v")
+        # The commit lazily created the probe index on s(C) — that must
+        # not have evicted the very plan that created it.
+        assert db.indexes.lookup("s", ("C",)) is not None
+        assert plan is not None
+        assert maintainer.plan_cache_stats()["plan_cache_invalidations"] == 0
+
+    def test_drop_relation_invalidates(self, db, maintainer):
+        # Dropping an operand relation leaves the view unusable, but the
+        # plan must be gone immediately, not on next use.
+        db.drop_relation("s")
+        assert maintainer.compiled_plan("v") is None
+
+    def test_drop_view_invalidates(self, db, maintainer):
+        maintainer.drop_view("v")
+        assert "v" not in maintainer._plan_cache
+        assert maintainer.plan_cache_stats()["plan_cache_invalidations"] == 1
+
+    def test_reregistration_under_same_name_gets_new_plan(self, db, maintainer):
+        old_plan = maintainer.compiled_plan("v")
+        maintainer.drop_view("v")
+        maintainer.define_view(
+            "v", BaseRef("r").select("A >= 5").project(["B"])
+        )
+        new_plan = maintainer.compiled_plan("v")
+        assert new_plan is not None and new_plan is not old_plan
+        assert new_plan.fingerprint != old_plan.fingerprint
+        db.apply(inserts={"r": [(9, 77)]})
+        assert (77,) in maintainer.view("v").contents
+        check_view_consistency(maintainer.view("v"), db.instances())
+
+    def test_detached_maintainer_stops_observing_ddl(self, db, maintainer):
+        plan = maintainer.compiled_plan("v")
+        maintainer.detach()
+        db.create_index("s", ["C"])
+        assert maintainer.compiled_plan("v") is plan
+
+
+class TestStaleIndexBindings:
+    def test_index_dropped_between_commits_forces_replan(self, db, maintainer):
+        # First commit: the plan lazily creates and binds s(C).
+        db.apply(inserts={"r": [(3, 2)]})
+        plan = maintainer.compiled_plan("v")
+        assert plan.index_bindings(), "expected a bound probe index"
+        # Drop the index out from under the cached plan.  The dropped
+        # HashIndex object stops being maintained, so probing it after
+        # further commits would silently miss rows.
+        assert db.drop_index("s", ("C",))
+        assert maintainer.compiled_plan("v") is None
+        # Grow s (the dead index never sees this row), then touch r: a
+        # correct maintainer must re-plan rather than probe the corpse.
+        db.apply(inserts={"s": [(2, 99)]})
+        db.apply(inserts={"r": [(4, 2)]})
+        replanned = maintainer.compiled_plan("v")
+        assert replanned is not None and replanned is not plan
+        assert (4, 99) in maintainer.view("v").contents
+        check_view_consistency(maintainer.view("v"), db.instances())
+
+    def test_stale_binding_would_have_missed_rows(self, db, maintainer):
+        # Demonstrate the hazard the invalidation prevents: the dropped
+        # index object genuinely does not contain later insertions.
+        db.apply(inserts={"r": [(3, 2)]})
+        dead = db.indexes.lookup("s", ("C",))
+        assert dead is not None
+        db.drop_index("s", ("C",))
+        db.apply(inserts={"s": [(2, 99)]})
+        assert not dead.probe((2,)) & {(2, 99)}  # the corpse is stale
+        live = db.indexes.lookup("s", ("C",))
+        assert live is None or (2, 99) in live.probe((2,))
+
+
+class TestAblation:
+    def test_cache_disabled_compiles_every_call(self, db):
+        m = ViewMaintainer(db, use_plan_cache=False)
+        m.define_view("v", VIEW_EXPR)
+        assert m.compiled_plan("v") is None  # nothing is ever cached
+        db.apply(inserts={"r": [(3, 2)]})
+        db.apply(inserts={"r": [(4, 2)]})
+        stats = m.stats("v")
+        assert stats.plan_cache_misses == 2
+        assert stats.plan_cache_hits == 0
+        check_view_consistency(m.view("v"), db.instances())
+
+    def test_cached_and_uncached_agree(self):
+        def run(use_plan_cache):
+            database = Database()
+            database.create_relation("r", ["A", "B"], [(1, 2), (5, 10)])
+            database.create_relation("s", ["C", "D"], [(2, 20), (10, 30)])
+            m = ViewMaintainer(database, use_plan_cache=use_plan_cache)
+            m.define_view("v", VIEW_EXPR)
+            rng = random.Random(7)
+            for _ in range(30):
+                with database.transact() as txn:
+                    txn.insert("r", (rng.randrange(12), rng.randrange(12)))
+                    if rng.random() < 0.5:
+                        txn.insert("s", (rng.randrange(12), rng.randrange(40)))
+            return m.view("v").contents
+
+        assert run(True) == run(False)
+
+
+class TestReplicationAgreement:
+    def _make_leader(self, directory):
+        database = Database()
+        database.create_relation("r", ["A", "B"], [(1, 2), (5, 10)])
+        database.create_relation("s", ["C", "D"], [(2, 20), (10, 30)])
+        durability = DurabilityManager(database, directory)
+        m = ViewMaintainer(database)
+        m.define_view("v", VIEW_EXPR)
+        m.define_view(
+            "d",
+            BaseRef("r").select("A >= 5").project(["B"]),
+            policy=MaintenancePolicy.DEFERRED,
+        )
+        durability.checkpoint(m)
+        return database, durability, m
+
+    def test_live_replay_and_follower_agree_byte_for_byte(self, tmp_path):
+        directory = str(tmp_path)
+        database, durability, leader = self._make_leader(directory)
+        follower = Follower(directory)
+        follower.define_view("v", VIEW_EXPR)
+        rng = random.Random(3)
+        for _ in range(25):
+            with database.transact() as txn:
+                txn.insert("r", (rng.randrange(12), rng.randrange(12)))
+                if rng.random() < 0.4:
+                    txn.insert("s", (rng.randrange(12), rng.randrange(40)))
+        leader.refresh("d")
+        durability.close()
+
+        recovery, recovered = recover(
+            directory,
+            setup=lambda rec, m: (
+                rec.restore_view(m, "v", VIEW_EXPR),
+                rec.restore_view(
+                    m, "d", BaseRef("r").select("A >= 5").project(["B"])
+                ),
+            ),
+        )
+        recovered.refresh("d")
+        follower.poll()
+
+        live = dict(leader.view("v").contents.items())
+        replayed = dict(recovered.view("v").contents.items())
+        followed = dict(follower.maintainer.view("v").contents.items())
+        assert live == replayed == followed
+        assert dict(leader.view("d").contents.items()) == dict(
+            recovered.view("d").contents.items()
+        )
+        # All three executed cached compiled plans, not one-off ones.
+        assert leader.plan_cache_stats()["plan_cache_hits"] > 0
+        assert recovered.plan_cache_stats()["plan_cache_hits"] > 0
+        assert follower.maintainer.plan_cache_stats()["plan_cache_hits"] > 0
+
+
+@st.composite
+def transaction_batches(draw):
+    """A short workload of random single/multi-relation transactions."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    batches = []
+    for _ in range(n):
+        r_rows = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=8),
+                    st.integers(min_value=0, max_value=8),
+                ),
+                max_size=3,
+            )
+        )
+        s_rows = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=8),
+                    st.integers(min_value=0, max_value=30),
+                ),
+                max_size=3,
+            )
+        )
+        batches.append((r_rows, s_rows))
+    return batches
+
+
+class TestPlanReuseProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(batches=transaction_batches())
+    def test_plan_reuse_never_changes_view_contents(self, batches):
+        def run(use_plan_cache):
+            database = Database()
+            database.create_relation("r", ["A", "B"])
+            database.create_relation("s", ["C", "D"])
+            m = ViewMaintainer(database, use_plan_cache=use_plan_cache)
+            m.define_view("v", VIEW_EXPR)
+            for r_rows, s_rows in batches:
+                with database.transact() as txn:
+                    for row in r_rows:
+                        txn.insert("r", row)
+                    for row in s_rows:
+                        txn.insert("s", row)
+            return database, m
+
+        cached_db, cached = run(True)
+        fresh_db, fresh = run(False)
+        assert cached.view("v").contents == fresh.view("v").contents
+        check_view_consistency(cached.view("v"), cached_db.instances())

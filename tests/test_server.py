@@ -289,6 +289,10 @@ class TestEndToEnd:
         assert stats["counters"]["server_txns_committed"] == 1
         assert stats["counters"]["server_requests"] >= 3
         assert stats["sessions"]["open"] == 1
+        assert stats["plan_cache"]["plan_cache_hits"] >= 1
+        assert stats["plan_cache"]["plan_cache_misses"] == 0
+        assert stats["views"]["hot"]["maintenance"]["plan_cache_hits"] >= 1
+        assert stats["counters"]["plan_cache_hits"] >= 1
 
     def test_subscribe_unknown_view(self, served):
         handle, *_ = served
