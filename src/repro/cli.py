@@ -24,6 +24,17 @@ Invocations::
         the checkpoint adopt their stored contents and catch up
         differentially.  Commits from clients are appended to DIR's
         WAL.  Ctrl-C shuts down gracefully.
+    python -m repro.cli simulate [--seed N] [--episodes N] [--events N]
+                                 [--followers N] [--clients N]
+                                 [--no-crashes] [--no-partitions]
+                                 [--no-ddl] [--corruption] [--trace]
+        Run the deterministic simulation harness (docs/testing.md):
+        seeded random workloads under injected crashes, torn writes,
+        lost fsyncs and network faults, checked after every quiescent
+        point by a full-recompute oracle across the leader, recovered
+        state, followers and client changefeed mirrors.  The same seed
+        always replays the identical run; a divergence prints the
+        failing episode's seed and a minimized event trace, and exits 1.
 
 Shell commands::
 
@@ -424,6 +435,48 @@ def run_serve(
     return 0
 
 
+def run_simulate(
+    seed: int = 0,
+    episodes: int = 10,
+    events: int = 40,
+    followers: int = 1,
+    clients: int = 2,
+    crashes: bool = True,
+    partitions: bool = True,
+    ddl: bool = True,
+    corruption: bool = False,
+    trace: bool = False,
+    emit=print,
+) -> int:
+    """The ``simulate`` verb; returns the process exit code.
+
+    Output is a pure function of the arguments (the harness owns all
+    randomness and time), so piping two runs with the same seed through
+    ``diff`` is itself a determinism test.
+    """
+    from repro.simulation import SimulationConfig, run_simulation
+
+    config = SimulationConfig(
+        seed=seed,
+        episodes=episodes,
+        events=events,
+        followers=followers,
+        clients=clients,
+        crashes=crashes,
+        partitions=partitions,
+        ddl=ddl,
+        corruption=corruption,
+    )
+    report = run_simulation(config)
+    emit(report.format())
+    if trace:
+        for result in report.episodes:
+            emit(f"episode seed={result.seed}")
+            for line in result.trace:
+                emit(f"  {line}")
+    return 0 if report.ok else 1
+
+
 def repl(shell: Shell | None = None) -> int:  # pragma: no cover - interactive
     """The interactive loop behind ``python -m repro.cli``."""
     shell = shell if shell is not None else Shell()
@@ -503,6 +556,42 @@ def main(argv: list[str] | None = None) -> int:
             "'hot=r join s where C > 5 select A, C' (repeatable)"
         ),
     )
+    simulate_parser = commands.add_parser(
+        "simulate",
+        help="run the deterministic fault-injection simulator",
+    )
+    simulate_parser.add_argument(
+        "--seed", type=int, default=0, help="master seed (default 0)"
+    )
+    simulate_parser.add_argument(
+        "--episodes", type=int, default=10, help="episodes to run (default 10)"
+    )
+    simulate_parser.add_argument(
+        "--events", type=int, default=40, help="events per episode (default 40)"
+    )
+    simulate_parser.add_argument(
+        "--followers", type=int, default=1, help="replica count (default 1)"
+    )
+    simulate_parser.add_argument(
+        "--clients", type=int, default=2, help="changefeed clients (default 2)"
+    )
+    simulate_parser.add_argument(
+        "--no-crashes", action="store_true", help="disable crash/recovery events"
+    )
+    simulate_parser.add_argument(
+        "--no-partitions", action="store_true",
+        help="disable partitions, stalls and lossy replica channels",
+    )
+    simulate_parser.add_argument(
+        "--no-ddl", action="store_true", help="disable DDL and view churn"
+    )
+    simulate_parser.add_argument(
+        "--corruption", action="store_true",
+        help="inject bit-flip corruption (episodes end at the injection)",
+    )
+    simulate_parser.add_argument(
+        "--trace", action="store_true", help="print every episode's full trace"
+    )
     options = parser.parse_args(argv)
 
     try:
@@ -512,6 +601,19 @@ def main(argv: list[str] | None = None) -> int:
             if options.shell:  # pragma: no cover - interactive
                 return repl(Shell(database))
             return 0
+        if options.command == "simulate":
+            return run_simulate(
+                seed=options.seed,
+                episodes=options.episodes,
+                events=options.events,
+                followers=options.followers,
+                clients=options.clients,
+                crashes=not options.no_crashes,
+                partitions=not options.no_partitions,
+                ddl=not options.no_ddl,
+                corruption=options.corruption,
+                trace=options.trace,
+            )
         if options.command == "serve":
             return run_serve(
                 options.directory,

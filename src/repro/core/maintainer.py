@@ -29,7 +29,7 @@ network view-server — therefore runs the same cached plan; the
 from __future__ import annotations
 
 import enum
-from typing import Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 from repro.algebra.expressions import Expression
 from repro.algebra.relation import Delta, Relation
@@ -39,6 +39,9 @@ from repro.core.views import MaterializedView, ViewDefinition
 from repro.engine.database import Database
 from repro.errors import MaintenanceError, UnknownViewError
 from repro.instrumentation import charge
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.consistency import ConsistencyReport
 
 
 class MaintenancePolicy(enum.Enum):
@@ -323,6 +326,10 @@ class ViewMaintainer:
         """Maintainer-wide plan-cache counters (hits/misses/invalidations)."""
         return self._plan_cache.stats.as_dict()
 
+    def plan_fingerprints(self) -> dict[str, tuple]:
+        """Cached plans' definition fingerprints (see PlanCache.fingerprints)."""
+        return self._plan_cache.fingerprints()
+
     def _on_ddl(self, event: str, relation_name: str) -> None:
         """Invalidate plans a schema change could have staled.
 
@@ -569,6 +576,50 @@ class ViewMaintainer:
         """A deferred view's composed, not-yet-applied deltas."""
         self._require_view(name)
         return dict(self._pending[name])
+
+    # ------------------------------------------------------------------
+    # Quiescent points
+    # ------------------------------------------------------------------
+    def quiesce(self) -> tuple[str, ...]:
+        """Bring every view up to date; returns the names that changed.
+
+        Immediate views are always current, so this amounts to
+        refreshing every deferred view's composed backlog.  Afterwards
+        the maintainer is at a *quiescent point*: every registered view
+        equals its definition evaluated against the current base state
+        — the precondition :meth:`verify_all` checks, and the moment
+        the simulation harness's oracle runs.
+        """
+        refreshed = []
+        for name in self.view_names():
+            if self._policies[name] is MaintenancePolicy.DEFERRED:
+                if self.refresh(name):
+                    refreshed.append(name)
+        return tuple(refreshed)
+
+    def verify_all(
+        self, raise_on_mismatch: bool = True
+    ) -> "dict[str, ConsistencyReport]":
+        """Full-recompute oracle over every registered view.
+
+        Each view's defining expression is evaluated from scratch
+        against the current base relations (and upstream views, for
+        stacked definitions) and diffed — multiplicity counters
+        included — against the maintained contents.  Only meaningful at
+        a quiescent point (:meth:`quiesce` first, or no deferred
+        backlog).  With ``raise_on_mismatch`` the first divergence
+        raises :class:`~repro.errors.MaintenanceError`; otherwise the
+        per-view reports are returned for inspection either way.
+        """
+        from repro.core.consistency import check_view_consistency
+
+        instances = self._combined_instances()
+        reports: dict[str, ConsistencyReport] = {}
+        for name in self.view_names():
+            reports[name] = check_view_consistency(
+                self._views[name], instances, raise_on_mismatch=raise_on_mismatch
+            )
+        return reports
 
     # ------------------------------------------------------------------
     # The filter + differential pipeline

@@ -93,6 +93,17 @@ class PlanCache:
         """The cached plan without touching the hit/miss counters."""
         return self._plans.get(name)
 
+    def fingerprints(self) -> dict[str, tuple]:
+        """Every cached plan's definition fingerprint, keyed by name.
+
+        Purely observational — the staleness-audit hook: an external
+        checker (the simulation harness's oracle, a debugging session)
+        compares these against the live definitions' fingerprints to
+        prove no cached plan outlived the definition it was compiled
+        for.
+        """
+        return {name: plan.fingerprint for name, plan in self._plans.items()}
+
     def put(self, name: str, plan: CompiledViewPlan) -> CompiledViewPlan:
         """Store a freshly compiled plan (replacing any cached one)."""
         self._plans[name] = plan

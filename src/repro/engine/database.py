@@ -218,8 +218,22 @@ class Database:
             pass
 
     def _notify_ddl(self, event: str, relation_name: str) -> None:
+        # Unlike commit hooks (observers of an already-durable fact,
+        # where stop-at-first-failure is the pinned policy), DDL hooks
+        # are correctness-critical: the maintainer's plan invalidation
+        # rides this bus, and a user hook registered earlier must not be
+        # able to stop it — that would leave a cached plan bound to an
+        # index or relation that no longer exists.  Every hook sees
+        # every event; the first failure propagates afterwards.
+        failure: BaseException | None = None
         for hook in self._ddl_hooks:
-            hook(event, relation_name)
+            try:
+                hook(event, relation_name)
+            except BaseException as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
 
     def _apply_commit(self, txn: Transaction, deltas: Mapping[str, Delta]) -> None:
         """Apply a transaction's net effect (called by Transaction.commit)."""

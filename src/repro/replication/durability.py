@@ -31,7 +31,7 @@ from repro.algebra.relation import Delta
 from repro.engine.database import Database
 from repro.engine.persistence import deltas_to_document
 from repro.replication.checkpoints import write_checkpoint
-from repro.replication.wal import DEFAULT_SEGMENT_BYTES, WalWriter
+from repro.replication.wal import DEFAULT_SEGMENT_BYTES, WalIO, WalWriter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.maintainer import ViewMaintainer
@@ -43,7 +43,7 @@ class DurabilityManager:
     Constructing the manager opens (or creates) the log in
     ``directory`` — recovering a torn tail if the previous process
     crashed mid-append — and registers a commit hook on ``database``.
-    ``segment_bytes`` and ``sync`` are passed through to
+    ``segment_bytes``, ``sync`` and ``io`` are passed through to
     :class:`~repro.replication.wal.WalWriter`.
     """
 
@@ -53,10 +53,13 @@ class DurabilityManager:
         directory: str,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         sync: str = "commit",
+        io: WalIO | None = None,
     ) -> None:
         self.database = database
         self.directory = directory
-        self._writer = WalWriter(directory, segment_bytes=segment_bytes, sync=sync)
+        self._writer = WalWriter(
+            directory, segment_bytes=segment_bytes, sync=sync, io=io
+        )
         self._attached = False
         database.add_commit_hook(self._on_commit)
         self._attached = True
@@ -98,6 +101,10 @@ class DurabilityManager:
             for name in maintainer.view_names():
                 if maintainer.policy(name) is MaintenancePolicy.DEFERRED:
                     maintainer.refresh(name)
+        # A checkpoint claims "state as of WAL sequence N"; make the log
+        # durable through N first so the claim never outlives the
+        # records backing it (matters only under sync="close"/"never").
+        self._writer.sync_now()
         path = write_checkpoint(
             self.directory,
             self.database,

@@ -89,6 +89,34 @@ class Follower:
     # ------------------------------------------------------------------
     # The changefeed loop
     # ------------------------------------------------------------------
+    def apply_record(self, record: WalRecord) -> bool:
+        """Re-commit one shipped record; False for an applied duplicate.
+
+        This is the single entry point every transport funnels into:
+        :meth:`poll` reads records off the shared directory, a
+        simulated or real network feed hands them over one at a time.
+        Records at or below :attr:`position` are ignored (at-least-once
+        delivery makes duplicates normal); a record that skips ahead
+        raises :class:`~repro.errors.ReplicationError`, since applying
+        it would silently drop the gap — in-order delivery is the
+        caller's job (buffer and reorder before calling).
+        """
+        if record.sequence <= self.position:
+            return False
+        if record.sequence != self.position + 1:
+            raise ReplicationError(
+                f"follower at position {self.position} cannot apply record "
+                f"{record.sequence}: records {self.position + 1}.."
+                f"{record.sequence - 1} are missing"
+            )
+        replay_records(
+            self.database,
+            [decode_wal_record(self.database, record)],
+            preserve_txn_ids=True,
+        )
+        self.position = record.sequence
+        return True
+
     def poll(self, max_records: int | None = None) -> int:
         """Consume newly shipped records; returns how many were applied.
 
@@ -99,13 +127,8 @@ class Follower:
         """
         applied = 0
         for record in self._reader.records(after=self.position):
-            replay_records(
-                self.database,
-                [decode_wal_record(self.database, record)],
-                preserve_txn_ids=True,
-            )
-            self.position = record.sequence
-            applied += 1
+            if self.apply_record(record):
+                applied += 1
             if max_records is not None and applied >= max_records:
                 break
         self.tail_damage = self._reader.tail_damage

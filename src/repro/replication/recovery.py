@@ -147,16 +147,24 @@ class Recovery:
 def recover(
     directory: str,
     setup: "Callable[[Recovery, ViewMaintainer], None] | None" = None,
+    verify: bool = False,
 ) -> tuple[Recovery, ViewMaintainer]:
     """One-call recovery: boot, restore views, replay the tail.
 
     ``setup(recovery, maintainer)`` runs between boot and replay — the
     place to :meth:`Recovery.restore_view` every view definition.
-    Returns the finished recovery session and its maintainer.
+    ``verify`` runs the full-recompute oracle over every restored view
+    after replay (:meth:`ViewMaintainer.verify_all`), turning a stale
+    checkpoint or a divergent replay into an immediate
+    :class:`~repro.errors.MaintenanceError` instead of a silently wrong
+    view.  Returns the finished recovery session and its maintainer.
     """
     recovery = Recovery(directory)
     maintainer = ViewMaintainer(recovery.database)
     if setup is not None:
         setup(recovery, maintainer)
     recovery.replay()
+    if verify:
+        maintainer.quiesce()
+        maintainer.verify_all()
     return recovery, maintainer

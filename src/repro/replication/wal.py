@@ -246,6 +246,40 @@ class WalReader:
 # Writing
 # ----------------------------------------------------------------------
 
+class WalIO:
+    """The writer's narrow OS seam: open, write, fsync, truncate.
+
+    Everything :class:`WalWriter` does to the filesystem goes through
+    one of these, so a test harness can substitute a fault-injecting
+    subclass (see ``repro.simulation.faults.FaultyWalIO``) that models
+    lost fsyncs and torn tail writes without touching the writer's
+    logic.  Production code never needs to pass one.
+    """
+
+    def open_append(self, path: str):
+        """Open ``path`` for appending, positioned at its current end."""
+        return open(path, "ab")
+
+    def write(self, stream, data: bytes) -> None:
+        """Append ``data`` and push it to the OS (flush, not fsync)."""
+        stream.write(data)
+        stream.flush()
+
+    def fsync(self, stream) -> None:
+        """Ask the OS to make everything written so far durable."""
+        os.fsync(stream.fileno())
+
+    def close(self, stream) -> None:
+        stream.close()
+
+    def truncate(self, path: str, offset: int) -> None:
+        """Cut ``path`` at ``offset`` durably (torn-tail cleanup)."""
+        with open(path, "r+b") as stream:
+            stream.truncate(offset)
+            stream.flush()
+            os.fsync(stream.fileno())
+
+
 class WalWriter:
     """Appends checksummed records, rotating and fsyncing as configured.
 
@@ -264,6 +298,9 @@ class WalWriter:
         ``"commit"`` (default) fsyncs after every append — the
         durability guarantee; ``"close"`` fsyncs only on rotation and
         close; ``"never"`` leaves flushing to the OS (benchmarking).
+    io:
+        The :class:`WalIO` implementation carrying all filesystem
+        operations (default: the real one).
     """
 
     _SYNC_MODES = ("commit", "close", "never")
@@ -273,6 +310,7 @@ class WalWriter:
         directory: str,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         sync: str = "commit",
+        io: WalIO | None = None,
     ) -> None:
         if sync not in self._SYNC_MODES:
             raise ReplicationError(
@@ -284,6 +322,7 @@ class WalWriter:
         self.directory = directory
         self.segment_bytes = segment_bytes
         self.sync = sync
+        self._io = io if io is not None else WalIO()
         self._stream = None
         self._segment_size = 0
         self._last_sequence = self._recover_tail()
@@ -299,10 +338,7 @@ class WalWriter:
             last = record.sequence
         damage = reader.tail_damage
         if damage is not None:
-            with open(damage.path, "r+b") as stream:
-                stream.truncate(damage.offset)
-                stream.flush()
-                os.fsync(stream.fileno())
+            self._io.truncate(damage.path, damage.offset)
         return last
 
     # ------------------------------------------------------------------
@@ -318,10 +354,9 @@ class WalWriter:
         sequence = self._last_sequence + 1
         line = encode_record(sequence, txn_id, dict(deltas_doc))
         stream = self._stream_for(sequence)
-        stream.write(line)
-        stream.flush()
+        self._io.write(stream, line)
         if self.sync == "commit":
-            os.fsync(stream.fileno())
+            self._io.fsync(stream)
             charge("wal_fsyncs")
         self._segment_size += len(line)
         self._last_sequence = sequence
@@ -339,18 +374,32 @@ class WalWriter:
                 path = segments[-1][1]
             else:
                 path = _segment_path(self.directory, sequence)
-            self._stream = open(path, "ab")
+            self._stream = self._io.open_append(path)
             self._segment_size = self._stream.tell()
+            if self._segment_size and not self._ends_with_newline(path):
+                # A crash can shear exactly the terminating newline off
+                # the final record while leaving its JSON intact — the
+                # reader still decodes it, so tail recovery keeps it.
+                # Appending straight after it would weld two records
+                # onto one line; restore the terminator first.
+                self._io.write(self._stream, b"\n")
+                self._segment_size += 1
         return self._stream
+
+    @staticmethod
+    def _ends_with_newline(path: str) -> bool:
+        with open(path, "rb") as probe:
+            probe.seek(-1, os.SEEK_END)
+            return probe.read(1) == b"\n"
 
     def _close_stream(self) -> None:
         if self._stream is None:
             return
         self._stream.flush()
         if self.sync != "never":
-            os.fsync(self._stream.fileno())
+            self._io.fsync(self._stream)
             charge("wal_fsyncs")
-        self._stream.close()
+        self._io.close(self._stream)
         self._stream = None
         self._segment_size = 0
 
@@ -358,7 +407,7 @@ class WalWriter:
         """Force an fsync of the open segment regardless of sync mode."""
         if self._stream is not None:
             self._stream.flush()
-            os.fsync(self._stream.fileno())
+            self._io.fsync(self._stream)
             charge("wal_fsyncs")
 
     # ------------------------------------------------------------------

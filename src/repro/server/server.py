@@ -43,7 +43,7 @@ from repro.errors import (
 from repro.instrumentation import CostRecorder, recording
 from repro.server import protocol
 from repro.server.protocol import ProtocolError
-from repro.server.session import Session
+from repro.server.session import LocalSession, Session
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.replication.durability import DurabilityManager
@@ -168,11 +168,11 @@ class ViewServer:
         #: charges while handling requests); served by the ``stats`` op.
         self.recorder = CostRecorder()
         self.port: int | None = None
-        self._sessions: dict[int, Session] = {}
+        self._sessions: dict[int, Session | LocalSession] = {}
         self._next_session_id = 1
         self._feeds: dict[str, Changefeed] = {}
         #: view name → ``(session, subscription_id)`` fan-out targets.
-        self._subscribers: dict[str, list[tuple[Session, int]]] = {}
+        self._subscribers: dict[str, list[tuple[Session | LocalSession, int]]] = {}
         self._asyncio_server: asyncio.AbstractServer | None = None
         self._draining = False
         self._stopped: asyncio.Event | None = None
@@ -266,7 +266,35 @@ class ViewServer:
         except (ConnectionError, OSError):  # peer vanished mid-rejection
             pass
 
-    def release_session(self, session: Session) -> None:
+    def open_local_session(self, transport) -> LocalSession:
+        """Admit one in-process client over an injectable transport.
+
+        Counts against (and is refused by) the same admission limits a
+        TCP connection faces: a draining server raises ``shutting_down``
+        and a full session table raises ``too_many_sessions`` — both as
+        :class:`~repro.server.protocol.ProtocolError`, since there is no
+        socket to write a rejection frame to.  ``transport(frame) ->
+        bool`` receives every outbound frame; see
+        :class:`~repro.server.session.LocalSession` for the contract.
+        """
+        if self._draining:
+            raise ProtocolError(
+                protocol.E_SHUTTING_DOWN, "server is shutting down"
+            )
+        if len(self._sessions) >= self.config.max_sessions:
+            self.recorder.incr("server_sessions_rejected")
+            raise ProtocolError(
+                protocol.E_TOO_MANY_SESSIONS,
+                f"server is at its {self.config.max_sessions}-session limit",
+            )
+        session_id = self._next_session_id
+        self._next_session_id += 1
+        session = LocalSession(self, session_id, transport)
+        self._sessions[session_id] = session
+        self.recorder.incr("server_sessions_opened")
+        return session
+
+    def release_session(self, session: "Session | LocalSession") -> None:
         """Forget a finished session and all of its subscriptions."""
         self._sessions.pop(session.session_id, None)
         for subscription_id, view_name in session.subscriptions.items():
@@ -274,7 +302,7 @@ class ViewServer:
         self.recorder.incr("server_sessions_closed")
 
     def _drop_subscriber(
-        self, view_name: str, session: Session, subscription_id: int
+        self, view_name: str, session: "Session | LocalSession", subscription_id: int
     ) -> None:
         targets = self._subscribers.get(view_name)
         if not targets:
@@ -321,7 +349,9 @@ class ViewServer:
     # ------------------------------------------------------------------
     _OPS = ("ping", "query", "txn", "subscribe", "unsubscribe", "stats")
 
-    async def dispatch(self, session: Session, doc: Mapping[str, Any]) -> dict[str, Any]:
+    async def dispatch(
+        self, session: "Session | LocalSession", doc: Mapping[str, Any]
+    ) -> dict[str, Any]:
         """Handle one request document; always returns a response doc."""
         request_id = doc.get("id")
         self.recorder.incr("server_requests")

@@ -215,3 +215,114 @@ class Session:
             f"{len(self.subscriptions)} subscriptions"
             f"{' closing' if self.closing else ''}>"
         )
+
+
+class LocalSession:
+    """An in-process session over an injectable transport — no sockets.
+
+    Opened with :meth:`ViewServer.open_local_session`, this presents the
+    exact session surface :meth:`ViewServer.dispatch` and the changefeed
+    fan-out rely on (``subscriptions``, ``pending_events``,
+    ``send_frame``…), but every outbound frame — response and event
+    alike — leaves through one caller-supplied ``transport(frame) ->
+    bool`` callable instead of a TCP writer.  The deterministic
+    simulation harness plugs a fault-injecting in-memory channel in
+    here; an embedder could just as well plug a queue.
+
+    The backpressure contract carries over unchanged: a transport that
+    returns ``False`` means the frame did not fit (the peer has stopped
+    draining), and the session is disconnected on the spot — the same
+    slow-consumer policy a socket-backed :class:`Session` applies when
+    its outbox fills.
+
+    Requests are handled *synchronously*: ``dispatch`` is an ``async
+    def`` for the socket path's timeout plumbing, but every handler
+    body is synchronous, so :meth:`handle` drives the coroutine to
+    completion without an event loop.
+    """
+
+    def __init__(self, server, session_id: int, transport) -> None:
+        self.server = server
+        self.session_id = session_id
+        self._transport = transport
+        self.subscriptions: dict[int, str] = {}
+        self._next_subscription_id = 1
+        self.pending_events: list[dict[str, Any]] = []
+        self.closing = False
+        self.close_reason: str | None = None
+        self.task = None
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def handle(self, doc: dict[str, Any]) -> bool:
+        """Dispatch one request document; False once the session is closed.
+
+        The response frame is pushed through the transport, followed by
+        any events the handler staged (subscription catch-up), exactly
+        in the order the socket path would write them.
+        """
+        if self.closing:
+            return False
+        coro = self.server.dispatch(self, doc)
+        try:
+            coro.send(None)
+        except StopIteration as stop:
+            response = stop.value
+        else:  # pragma: no cover - dispatch handlers are synchronous
+            coro.close()
+            raise RuntimeError(
+                "ViewServer.dispatch suspended; LocalSession requires "
+                "synchronous request handlers"
+            )
+        self.send_frame(response)
+        events, self.pending_events = self.pending_events, []
+        for event in events:
+            if not self.send_frame(event):
+                break
+        return not self.closing
+
+    # ------------------------------------------------------------------
+    # Outbound frames and the slow-consumer policy
+    # ------------------------------------------------------------------
+    def send_frame(self, doc: dict[str, Any]) -> bool:
+        """Push one frame through the transport; False when it refuses."""
+        if self.closing:
+            return False
+        if not self._transport(protocol.encode_frame(doc)):
+            self.server.recorder.incr("server_slow_consumer_disconnects")
+            self.close("slow_consumer")
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Subscriptions (identical bookkeeping to Session)
+    # ------------------------------------------------------------------
+    def new_subscription(self, view_name: str) -> int:
+        """Register a changefeed subscription; returns its id."""
+        subscription_id = self._next_subscription_id
+        self._next_subscription_id += 1
+        self.subscriptions[subscription_id] = view_name
+        return subscription_id
+
+    def drop_subscription(self, subscription_id: int) -> str | None:
+        """Forget one subscription; returns its view name (None if absent)."""
+        return self.subscriptions.pop(subscription_id, None)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self, reason: str | None = None) -> None:
+        """Release the session; safe to call more than once."""
+        if self.closing:
+            return
+        self.closing = True
+        self.close_reason = reason
+        self.server.release_session(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<LocalSession {self.session_id} "
+            f"{len(self.subscriptions)} subscriptions"
+            f"{' closing' if self.closing else ''}>"
+        )

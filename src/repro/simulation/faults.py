@@ -1,0 +1,200 @@
+"""The storage fault model: a lying disk behind the WAL's IO seam.
+
+:class:`FaultyWalIO` plugs into :class:`~repro.replication.wal.WalWriter`
+through the ``io=`` parameter and tracks, per file, two byte counts:
+
+``written``
+    bytes the writer has pushed to the "OS" (every write is flushed, so
+    in this model written bytes are always in the page cache);
+``durable``
+    bytes an *honest* fsync has confirmed on "disk".
+
+An fsync may be silently **lost** (probability ``lost_fsync_rate``):
+the call returns success but ``durable`` does not advance — the lying
+disk.  A :meth:`crash` then models the machine dying: each file is cut
+back to its durable prefix *plus a random prefix of the unsynced tail*
+(the page cache may have drifted part of it to disk on its own).  A cut
+that lands mid-record is exactly a torn tail write; a cut at a record
+boundary is a clean lost suffix.  Data an honest fsync acknowledged is
+never lost — that is what keeps the oracle's expectations sound: after
+recovery, the surviving WAL prefix *is* the durable history.
+
+The model's two deliberate idealizations, both of the same shape —
+a fault whose only possible outcome is damage the code under test can
+at best *detect* is excluded from the crash fault, so that every crash
+episode has a recoverable ground truth:
+
+1. :meth:`make_durable` marks everything written as durable, and the
+   workload driver calls it before each checkpoint.  A checkpoint is a
+   durability *claim* ("state as of WAL sequence N"); a lost fsync
+   under one would leave the checkpoint pointing past the surviving
+   log — undetectable corruption by construction.
+2. :meth:`close` performs an honest fsync: segment rotation is a
+   durability barrier.  A lost rotation fsync followed by a crash
+   would tear the tail of a *non-final* segment, which the reader
+   (correctly) refuses as mid-log corruption.
+
+Both scenarios still exist in the harness — as :func:`flip_segment_byte`
+episodes, whose contract is detection, not recovery.
+
+:func:`flip_segment_byte` is the separate, *detectable* corruption
+fault: one bit of one committed record changes on disk, which the WAL's
+per-record CRC must catch.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from repro.replication.wal import WalIO, segment_paths
+
+
+class FaultyWalIO(WalIO):
+    """A :class:`~repro.replication.wal.WalIO` that loses unsynced bytes.
+
+    ``rng`` drives every fault decision (never the global
+    :mod:`random`), so a given seed replays the identical fault
+    history.  With ``lost_fsync_rate=0`` the only fault left is the
+    crash itself — cut points within whatever was written after the
+    last fsync.
+    """
+
+    def __init__(self, rng: random.Random, lost_fsync_rate: float = 0.0) -> None:
+        self.rng = rng
+        self.lost_fsync_rate = lost_fsync_rate
+        #: Per path: bytes pushed to the OS / bytes an honest fsync saw.
+        self._written: dict[str, int] = {}
+        self._durable: dict[str, int] = {}
+        self.fsyncs_lost = 0
+        self.crashes = 0
+        self.bytes_discarded = 0
+
+    # ------------------------------------------------------------------
+    # The WalIO surface
+    # ------------------------------------------------------------------
+    def open_append(self, path: str):
+        stream = super().open_append(path)
+        size = stream.tell()
+        self._written[path] = size
+        # Bytes present at open that this IO never tracked (a segment
+        # inherited from before attachment) are taken as durable; bytes
+        # it did track keep their recorded durability, clamped to the
+        # file's actual size.
+        self._durable[path] = min(self._durable.get(path, size), size)
+        return stream
+
+    def write(self, stream, data: bytes) -> None:
+        super().write(stream, data)
+        self._written[stream.name] = self._written.get(stream.name, 0) + len(data)
+
+    def fsync(self, stream) -> None:
+        if self.rng.random() < self.lost_fsync_rate:
+            # The disk lies: success is reported, durability is not won.
+            self.fsyncs_lost += 1
+            return
+        super().fsync(stream)
+        path = stream.name
+        self._durable[path] = self._written.get(path, self._durable.get(path, 0))
+
+    def close(self, stream) -> None:
+        # Segment rotation is a durability barrier (idealization #2,
+        # see the module docstring): the writer fsyncs a segment before
+        # abandoning it, and that fsync is honest here.  Otherwise a
+        # crash could tear the tail of a *non-final* segment, which
+        # reads as mid-log corruption — a lying-disk scenario the WAL
+        # can only detect, never repair, so it belongs to the bit-flip
+        # fault, not the crash fault.
+        if not stream.closed:
+            super().fsync(stream)
+            self._durable[stream.name] = self._written.get(stream.name, 0)
+        super().close(stream)
+
+    def truncate(self, path: str, offset: int) -> None:
+        super().truncate(path, offset)
+        self._written[path] = offset
+        self._durable[path] = offset
+
+    # ------------------------------------------------------------------
+    # Fault-model controls (driven by the workload)
+    # ------------------------------------------------------------------
+    def make_durable(self) -> None:
+        """Declare everything written durable (a real flush barrier)."""
+        for path, written in self._written.items():
+            self._durable[path] = written
+
+    def crash(self) -> list[tuple[str, int, int]]:
+        """The machine dies: un-fsynced bytes may vanish.
+
+        Each tracked file is truncated to ``durable + r`` where ``r``
+        is a uniform random prefix of its unsynced tail.  Returns
+        ``(basename, size_before, size_after)`` for every file that
+        lost bytes.  Tracking is reset to the post-crash reality, so
+        the same IO object can serve the recovered writer.
+        """
+        self.crashes += 1
+        outcomes: list[tuple[str, int, int]] = []
+        for path in sorted(self._written):
+            if not os.path.exists(path):
+                # Pruned by a checkpoint; nothing left to lose.
+                self._written.pop(path, None)
+                self._durable.pop(path, None)
+                continue
+            written = os.path.getsize(path)
+            durable = min(self._durable.get(path, written), written)
+            if written > durable:
+                keep = durable + self.rng.randint(0, written - durable)
+                if keep < written:
+                    with open(path, "r+b") as stream:
+                        stream.truncate(keep)
+                    self.bytes_discarded += written - keep
+                    outcomes.append((os.path.basename(path), written, keep))
+                written = keep
+            self._written[path] = written
+            self._durable[path] = written
+        return outcomes
+
+    def stats(self) -> dict[str, int]:
+        """The fault counters (deterministic content, for traces)."""
+        return {
+            "fsyncs_lost": self.fsyncs_lost,
+            "crashes": self.crashes,
+            "bytes_discarded": self.bytes_discarded,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultyWalIO crashes={self.crashes} "
+            f"fsyncs_lost={self.fsyncs_lost}>"
+        )
+
+
+def flip_segment_byte(directory: str, rng: random.Random) -> tuple[str, int] | None:
+    """Flip one random bit of one random committed WAL byte.
+
+    Models silent media corruption, the fault the per-record CRC exists
+    for.  Returns ``(segment basename, byte offset)``, or None when the
+    log has no bytes to corrupt.  Any single-bit flip changes the
+    record's canonical encoding without a compensating CRC change, so
+    the damaged line must decode to None — detection is then the
+    reader's torn-tail-versus-corruption classification.
+    """
+    segments = [
+        (path, os.path.getsize(path))
+        for _, path in segment_paths(directory)
+        if os.path.getsize(path) > 0
+    ]
+    if not segments:
+        return None
+    total = sum(size for _, size in segments)
+    target = rng.randrange(total)
+    for path, size in segments:
+        if target < size:
+            with open(path, "r+b") as stream:
+                stream.seek(target)
+                byte = stream.read(1)
+                stream.seek(target)
+                stream.write(bytes([byte[0] ^ (1 << rng.randrange(8))]))
+            return os.path.basename(path), target
+        target -= size
+    raise AssertionError("unreachable: target within total")

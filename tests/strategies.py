@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import random
+
 from hypothesis import strategies as st
 
 from repro.algebra.conditions import Atom, Condition, Conjunction
+from repro.algebra.expressions import Expression
+from repro.simulation.workload import BASE_TABLES, random_spj_expression
 
 #: Small integer constants, biased toward the interesting region.
 small_ints = st.integers(min_value=-8, max_value=8)
@@ -82,3 +86,36 @@ def conditions(draw, max_disjuncts: int = 3, max_atoms: int = 4) -> Condition:
     """Random DNF conditions."""
     n = draw(st.integers(min_value=1, max_value=max_disjuncts))
     return Condition([draw(conjunctions(max_atoms)) for _ in range(n)])
+
+
+# ----------------------------------------------------------------------
+# Whole SPJ views over the simulator's schema
+# ----------------------------------------------------------------------
+
+#: The three-table schema the simulation harness runs against — reused
+#: here so hypothesis and the simulator generate the same view class.
+SPJ_TABLES = BASE_TABLES
+
+
+@st.composite
+def spj_expressions(draw, max_operands: int = 3) -> Expression:
+    """Random multi-relation paper-class SPJ views.
+
+    Delegates to :func:`repro.simulation.workload.random_spj_expression`
+    through a drawn seed, so hypothesis shrinking works on the seed
+    while the view population is byte-identical to the simulator's —
+    one generator, two harnesses.
+    """
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return random_spj_expression(random.Random(seed), max_operands=max_operands)
+
+
+def spj_database_rows(rng: random.Random, rows_per_table: int = 6):
+    """Deterministic initial contents for the SPJ_TABLES schema."""
+    contents = {}
+    for name in sorted(SPJ_TABLES):
+        arity = len(SPJ_TABLES[name])
+        contents[name] = sorted(
+            {tuple(rng.randint(0, 6) for _ in range(arity)) for _ in range(rows_per_table)}
+        )
+    return contents

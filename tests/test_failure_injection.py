@@ -3,10 +3,16 @@
 The engine's contract under failing components is deliberately simple
 and these tests pin it down:
 
-* a transaction that raises before commit aborts cleanly;
 * a commit hook that raises propagates *after* the base relations and
-  earlier hooks have applied — commits are not rolled back by observer
-  failures (observers are derived state; the log remains authoritative);
+  earlier hooks have applied, and later hooks are skipped — commits
+  are not rolled back by observer failures (observers are derived
+  state; the log remains authoritative), but observer order matters:
+  stop-at-first-failure is the pinned commit-hook policy;
+* DDL hooks are the opposite: *every* hook sees every schema change
+  even when an earlier one raises (first failure re-raised after),
+  because the maintainer's plan invalidation rides this bus and a
+  failing user hook must not leave a stale compiled plan cached;
+* a subscriber that raises propagates after the view delta applied;
 * a corrupted view is caught by ``auto_verify`` / ``check_view_consistency``
   with a precise report, and the exception names the view;
 * maintenance keeps working after an observer failure.
@@ -87,6 +93,62 @@ class TestHookFailures:
             txn.insert("r", (3, 3))
         assert (3, 3) in view.contents
         check_view_consistency(view, db.instances())
+
+
+class TestDdlHookFailures:
+    def test_plan_invalidation_survives_earlier_failing_ddl_hook(self, db):
+        """A user DDL hook that raises must not strand a stale plan.
+
+        The bad hook is registered *before* the maintainer, so under
+        stop-at-first-failure semantics the maintainer's invalidation
+        would never run and ``compiled_plan`` would keep serving a plan
+        bound to the dropped index.  The DDL bus runs every hook and
+        re-raises the first failure afterwards.
+        """
+
+        def bad_hook(event, relation_name):
+            if event == "drop_index":
+                raise RuntimeError("ddl observer crashed")
+
+        db.add_ddl_hook(bad_hook)  # earlier than the maintainer's hook
+        maintainer = ViewMaintainer(db)
+        view = maintainer.define_view("v", BaseRef("r"))
+        db.create_index("r", ["A"])
+        # Recompile so the cached plan post-dates the index.
+        with db.transact() as txn:
+            txn.insert("r", (2, 2))
+        assert maintainer.compiled_plan("v") is not None
+
+        with pytest.raises(RuntimeError, match="ddl observer crashed"):
+            db.drop_index("r", ["A"])
+        # The failing earlier hook did not stop the invalidation.
+        assert maintainer.compiled_plan("v") is None
+
+        # The next commit recompiles cleanly and the view stays exact.
+        db.remove_ddl_hook(bad_hook)
+        with db.transact() as txn:
+            txn.insert("r", (3, 3))
+        assert maintainer.compiled_plan("v") is not None
+        check_view_consistency(view, db.instances())
+
+    def test_first_ddl_failure_wins_but_all_hooks_run(self, db):
+        seen = []
+
+        def first(event, relation_name):
+            seen.append(("first", event))
+            raise RuntimeError("first crashed")
+
+        def second(event, relation_name):
+            seen.append(("second", event))
+            raise RuntimeError("second crashed")
+
+        db.add_ddl_hook(first)
+        db.add_ddl_hook(second)
+        with pytest.raises(RuntimeError, match="first crashed"):
+            db.create_relation("s", ["C"])
+        assert seen == [("first", "create_relation"), ("second", "create_relation")]
+        # The schema change itself stood: hooks observe, never veto.
+        assert "s" in db.relation_names()
 
 
 class TestCorruptionDetection:

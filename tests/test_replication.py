@@ -242,6 +242,24 @@ class TestTornTail:
         with pytest.raises(WalCorruptionError):
             list(WalReader(directory).records())
 
+    def test_writer_repairs_sheared_final_newline(self, tmp_path):
+        # Found by the simulation harness (a crash cutting exactly one
+        # byte): the torn write can shear just the terminating newline
+        # off the final record, leaving its JSON intact.  The reader
+        # still decodes it, so tail recovery keeps it — and a naive
+        # append would weld the next record onto the same line, which
+        # later reads as mid-log corruption.  The writer must restore
+        # the terminator before appending.
+        directory = str(tmp_path)
+        self.write_log(directory)
+        path = _only_segment(directory)
+        with open(path, "r+b") as stream:
+            stream.truncate(os.path.getsize(path) - 1)  # shear the "\n"
+        with WalWriter(directory) as writer:
+            assert writer.last_sequence == 3  # record 3 is intact
+            assert writer.append(4, {}) == 4
+        assert [r.sequence for r in WalReader(directory).records()] == [1, 2, 3, 4]
+
 
 # ----------------------------------------------------------------------
 # Checkpoints
@@ -591,6 +609,92 @@ class TestReplayProperties:
                 directory, lambda rec, m: rec.restore_view(m, "v", VIEW_EXPR)
             )
             assert recovery.last_sequence <= len(scripts)
+            check_view_consistency(
+                recovered.view("v"), recovery.database.instances()
+            )
+
+
+class TestCrashPointMatrix:
+    """Every record boundary of a 50-commit log is a crash point.
+
+    Generalizes the ad-hoc tail-truncation cases above: the log is
+    written into a single segment, then for *each* record boundary a
+    copy of the directory is truncated at exactly that boundary and
+    recovered.  Recovery must converge to the state an incremental
+    oracle replay reaches after the same number of records — base
+    relations byte-for-byte and the restored view consistent — at
+    every one of the ~50 crash points, not just the handful an ad-hoc
+    test picks.
+    """
+
+    def test_recovery_at_every_record_boundary(self, tmp_path):
+        import shutil
+
+        from repro.engine.log import replay_records
+        from repro.replication.recovery import decode_wal_record
+
+        directory = str(tmp_path / "leader")
+        os.makedirs(directory)
+        db, durability, maintainer = make_leader(
+            directory, segment_bytes=1 << 20
+        )
+        rng = random.Random(42)
+        for _ in range(50):
+            with db.transact() as txn:
+                for _ in range(rng.randint(1, 3)):
+                    name = rng.choice(["r", "s"])
+                    row = (rng.randrange(8), rng.randrange(8))
+                    if rng.random() < 0.7:
+                        txn.insert(name, row)
+                    else:
+                        txn.delete(name, row)
+        segments = segment_paths(directory)
+        assert len(segments) == 1, "matrix assumes a single segment"
+        _, segment = segments[0]
+        with open(segment, "rb") as stream:
+            payload = stream.read()
+        boundaries = [0] + [
+            index + 1 for index, byte in enumerate(payload) if byte == 0x0A
+        ]
+
+        # The expected state after k records, built by an incremental
+        # oracle replay with no maintainer involved.
+        records = list(WalReader(directory).records())
+        assert len(boundaries) == len(records) + 1
+
+        def snapshot(database):
+            return {
+                name: dict(database.relation(name).counts())
+                for name in database.relation_names()
+            }
+
+        checkpoint = Checkpoint.load(latest_checkpoint_path(directory))
+        oracle_db = checkpoint.build_database()
+        oracle_db.log.advance_sequence(checkpoint.wal_sequence + 1)
+        expected = [snapshot(oracle_db)]
+        for record in records:
+            replay_records(
+                oracle_db,
+                [decode_wal_record(oracle_db, record)],
+                preserve_txn_ids=True,
+            )
+            expected.append(snapshot(oracle_db))
+
+        for k, offset in enumerate(boundaries):
+            scratch = str(tmp_path / f"crash-{k}")
+            shutil.copytree(directory, scratch)
+            copied_segment = os.path.join(scratch, os.path.basename(segment))
+            with open(copied_segment, "r+b") as stream:
+                stream.truncate(offset)
+            recovery, recovered = recover(
+                scratch, lambda rec, m: rec.restore_view(m, "v", VIEW_EXPR)
+            )
+            assert snapshot(recovery.database) == expected[k], (
+                f"crash at record boundary {k} diverged"
+            )
+            assert recovery.last_sequence == (
+                records[k - 1].sequence if k else checkpoint.wal_sequence
+            )
             check_view_consistency(
                 recovered.view("v"), recovery.database.instances()
             )

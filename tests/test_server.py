@@ -12,11 +12,14 @@ from __future__ import annotations
 
 import asyncio
 import io
+import random
 import socket
 import threading
 import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.algebra.expressions import BaseRef
 from repro.core.maintainer import ViewMaintainer
@@ -114,6 +117,141 @@ class TestProtocol:
 
     def test_request_field_optional_absent(self):
         assert protocol.request_field({}, "where", str, required=False) is None
+
+
+# ----------------------------------------------------------------------
+# Framing properties
+# ----------------------------------------------------------------------
+
+#: JSON documents of the shape the protocol actually carries: string
+#: keys, scalar/list/object values, small enough to frame thousands of
+#: examples quickly.
+_json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(-1000, 1000) | st.text(max_size=8),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=4), children, max_size=3),
+    max_leaves=8,
+)
+json_documents = st.dictionaries(st.text(max_size=6), _json_values, max_size=4)
+
+
+class _ChoppyStream:
+    """A binary stream that serves reads in adversarial chunk sizes.
+
+    Models a TCP receiver seeing arbitrary segmentation: each ``read``
+    returns between 1 byte and the full request, decided by ``rng``.
+    """
+
+    def __init__(self, data: bytes, rng) -> None:
+        self._data = data
+        self._pos = 0
+        self._rng = rng
+
+    def read(self, count: int) -> bytes:
+        if self._pos >= len(self._data):
+            return b""
+        step = self._rng.randint(1, max(1, count))
+        chunk = self._data[self._pos : self._pos + min(step, count)]
+        self._pos += len(chunk)
+        return chunk
+
+
+def _drain_blocking(stream, max_frame_bytes=1 << 20):
+    """Read frames to EOF; (outcome, docs-recovered-before-it)."""
+    out = []
+    try:
+        while (doc := protocol.read_frame_blocking(stream, max_frame_bytes)) is not None:
+            out.append(doc)
+        return ("eof", out)
+    except ProtocolError as exc:
+        return (exc.code, out)
+
+
+def _drain_async(data: bytes, max_frame_bytes=1 << 20):
+    """Same contract as :func:`_drain_blocking`, via the async reader."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        out = []
+        try:
+            while (doc := await protocol.read_frame_async(reader, max_frame_bytes)) is not None:
+                out.append(doc)
+            return ("eof", out)
+        except ProtocolError as exc:
+            return (exc.code, out)
+
+    return asyncio.run(run())
+
+
+class TestFramingProperties:
+    """Property tests for the length-prefixed frame codec."""
+
+    @given(
+        docs=st.lists(json_documents, min_size=1, max_size=5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_survives_split_and_coalesced_reads(self, docs, seed):
+        """Any segmentation of the byte stream recovers the documents.
+
+        The frames are coalesced into one buffer and served back in
+        random chunk sizes — both halves of the TCP reality: several
+        frames may arrive in one read, one frame across many.
+        """
+        blob = b"".join(protocol.encode_frame(doc) for doc in docs)
+        stream = _ChoppyStream(blob, random.Random(seed))
+        assert _drain_blocking(stream) == ("eof", docs)
+
+    @given(doc=json_documents)
+    @settings(max_examples=40, deadline=None)
+    def test_oversized_frame_rejected_at_declared_length(self, doc):
+        """A limit one byte under the payload rejects before decoding."""
+        framed = protocol.encode_frame(doc)
+        payload_length = len(framed) - protocol.HEADER_BYTES
+        with pytest.raises(ProtocolError) as exc:
+            protocol.read_frame_blocking(io.BytesIO(framed), payload_length - 1)
+        assert exc.value.code == protocol.E_BAD_FRAME
+        assert protocol.read_frame_blocking(io.BytesIO(framed), payload_length) == doc
+
+    @given(
+        docs=st.lists(json_documents, min_size=1, max_size=4),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_yields_clean_prefix_or_error(self, docs, data):
+        """A cut anywhere yields a document prefix, never a wrong doc.
+
+        Truncation at a frame boundary reads as clean EOF; anywhere
+        else raises ``E_BAD_FRAME`` — and in both cases every document
+        recovered before the cut is exact and the last (cut) frame is
+        never delivered.
+        """
+        blob = b"".join(protocol.encode_frame(doc) for doc in docs)
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        outcome, recovered = _drain_blocking(io.BytesIO(blob[:cut]))
+        assert outcome in ("eof", protocol.E_BAD_FRAME)
+        assert recovered == docs[: len(recovered)]
+        assert len(recovered) < len(docs)
+        boundaries = set()
+        offset = 0
+        for doc in docs:
+            boundaries.add(offset)
+            offset += len(protocol.encode_frame(doc))
+        assert (outcome == "eof") == (cut in boundaries)
+
+    @given(
+        docs=st.lists(json_documents, min_size=1, max_size=4),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_async_reader_agrees_with_blocking(self, docs, data):
+        """Both codec halves classify every prefix identically."""
+        blob = b"".join(protocol.encode_frame(doc) for doc in docs)
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob)))
+        prefix = blob[:cut]
+        assert _drain_async(prefix) == _drain_blocking(io.BytesIO(prefix))
 
 
 # ----------------------------------------------------------------------
