@@ -600,25 +600,40 @@ def to_normal_form(expression: Expression, catalog: SchemaCatalog) -> NormalForm
     return NormalForm(occurrences, condition, projection, qualified_schema)
 
 
-def _requalify(condition: Condition, visible: Mapping[str, str]) -> Condition:
-    """Rewrite a condition's variables through the ``visible`` mapping."""
+def requalify_condition(
+    condition: Condition, mapping: Mapping[str, str]
+) -> Condition:
+    """Rewrite a condition's variables through a rename ``mapping``.
+
+    Used during flattening (selection conditions move into the flat
+    product's qualified namespace) and by the static analyzer, which
+    pushes a relation constraint ``K_R`` — written over R's own
+    attribute names — through an :class:`Occurrence`'s rename so it can
+    be conjoined with the view condition.  Raises
+    :class:`ExpressionError` when the condition mentions a variable the
+    mapping does not cover.
+    """
     from repro.algebra.conditions import Conjunction, Var
 
     def map_atom(atom: Atom) -> Atom:
         left: object = atom.left
         right: object = atom.right
         if isinstance(left, Var):
-            left = Var(visible[left.name])
+            left = Var(mapping[left.name])
         if isinstance(right, Var):
-            right = Var(visible[right.name])
+            right = Var(mapping[right.name])
         return Atom(left, atom.op, right, atom.offset)
 
-    missing = condition.variables() - set(visible)
+    missing = condition.variables() - set(mapping)
     if missing:
         raise ExpressionError(
-            f"selection references attributes {sorted(missing)} not visible "
-            "at this point in the expression"
+            f"condition references attributes {sorted(missing)} not visible "
+            "under the rename mapping"
         )
     return Condition(
         Conjunction(map_atom(a) for a in disjunct) for disjunct in condition.disjuncts
     )
+
+
+# Backwards-compatible internal alias (flattening's original name).
+_requalify = requalify_condition

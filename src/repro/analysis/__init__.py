@@ -1,0 +1,58 @@
+"""Static analysis of view definitions, constraints and compiled plans.
+
+The analyzer turns the paper's Section 4 decision procedures —
+satisfiability by negative-cycle detection, implication by
+``C ∧ ¬a`` unsatisfiability, static irrelevance under declared
+constraints — into compile-time diagnostics over registered views.
+
+Entry points
+------------
+* :func:`analyze_definition` — single-view checks; what strict
+  registration (``ViewMaintainer.define_view(strict=True)``) runs.
+* :func:`analyze_maintainer` — everything, including the cross-view
+  subsumption pass; what ``ViewMaintainer.analyze()`` and the CLI's
+  ``analyze`` verb run.
+* :class:`AnalysisReport` — deterministic text/JSON rendering.
+* :class:`Finding` / :class:`Severity` — the typed result vocabulary
+  (closed code set; see :mod:`repro.analysis.findings`).
+"""
+
+from repro.analysis.analyzer import (
+    AnalysisReport,
+    analyze_definition,
+    analyze_maintainer,
+    cross_view_findings,
+)
+from repro.analysis.findings import (
+    CODE_SEVERITIES,
+    F_DEAD_DISJUNCT,
+    F_DEAD_TRUTH_ROWS,
+    F_DUPLICATE_VIEW,
+    F_LOOSE_BOUND,
+    F_REDUNDANT_ATOM,
+    F_STATIC_IRRELEVANCE,
+    F_SUBSUMED_VIEW,
+    F_UNBOUND_OLD_OPERAND,
+    F_UNSATISFIABLE_CONDITION,
+    Finding,
+    Severity,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "CODE_SEVERITIES",
+    "F_DEAD_DISJUNCT",
+    "F_DEAD_TRUTH_ROWS",
+    "F_DUPLICATE_VIEW",
+    "F_LOOSE_BOUND",
+    "F_REDUNDANT_ATOM",
+    "F_STATIC_IRRELEVANCE",
+    "F_SUBSUMED_VIEW",
+    "F_UNBOUND_OLD_OPERAND",
+    "F_UNSATISFIABLE_CONDITION",
+    "Finding",
+    "Severity",
+    "analyze_definition",
+    "analyze_maintainer",
+    "cross_view_findings",
+]

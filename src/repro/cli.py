@@ -35,6 +35,15 @@ Invocations::
         state, followers and client changefeed mirrors.  The same seed
         always replays the identical run; a divergence prints the
         failing episode's seed and a minimized event trace, and exits 1.
+    python -m repro.cli analyze FILE [FILE ...] [--json]
+        Run the static view analyzer (docs/analysis.md) over spec
+        files of shell commands (one command per line; blank lines and
+        lines starting with ``#`` or ``--`` are skipped).  All files
+        build one catalog, so cross-file view pairs are compared.  The
+        report — text by default, ``--json`` for machine consumption —
+        is deterministic: the same input produces byte-identical
+        output.  Exits 1 when any ERROR-level finding is present
+        (CI runs this over ``examples/``).
 
 Shell commands::
 
@@ -54,6 +63,13 @@ Shell commands::
     recommend indexes <view>    -- indexes the planner would probe
     create index on <rel> (<attr>, ...)
     drop index on <rel> (<attr>, ...)
+    constrain <rel> where <condition>
+                                -- declare an integrity constraint;
+                                   existing rows must satisfy it and
+                                   commits enforce it from then on
+    drop constraint <rel>       -- remove a relation's constraint
+    analyze                     -- run the static analyzer over every
+                                   registered view (docs/analysis.md)
     tables / views              -- list catalog entries
     drop view <name>
     help
@@ -66,6 +82,7 @@ Run interactively with ``python -m repro.cli``.
 
 from __future__ import annotations
 
+import contextlib
 import re
 import sys
 
@@ -181,6 +198,21 @@ class Shell:
             name = line.split(None, 2)[2].strip()
             self.maintainer.drop_view(name)
             return f"dropped view {name}"
+        match = re.match(
+            r"constrain\s+(\w+)\s+where\s+(.*)$", line, re.IGNORECASE
+        )
+        if match:
+            condition = self.database.declare_constraint(
+                match.group(1), match.group(2).strip()
+            )
+            return f"constrained {match.group(1)} where {condition}"
+        match = re.match(r"drop\s+constraint\s+(\w+)\s*$", line, re.IGNORECASE)
+        if match:
+            if self.database.drop_constraint(match.group(1)):
+                return f"dropped constraint on {match.group(1)}"
+            return f"no constraint on {match.group(1)}"
+        if lowered == "analyze":
+            return self.maintainer.analyze().format()
         raise ShellError(f"cannot parse: {line!r} (try 'help')")
 
     # ------------------------------------------------------------------
@@ -200,7 +232,9 @@ class Shell:
             try:
                 rows.append(tuple(int(c) for c in cells))
             except ValueError:
-                raise ShellError(f"values must be integers: ({match.group(1)})")
+                raise ShellError(
+                    f"values must be integers: ({match.group(1)})"
+                ) from None
         if not rows:
             raise ShellError("expected at least one (v, ...) row")
         return rows
@@ -408,14 +442,15 @@ def run_serve(
             await server.start()
         except OSError as exc:
             raise ReproError(f"cannot bind {host}:{port}: {exc}") from exc
-        try:  # Ctrl-C → graceful drain instead of a mid-commit teardown.
+        # Ctrl-C → graceful drain instead of a mid-commit teardown;
+        # suppressed errors mean no signal support here (non-main
+        # thread, Windows).
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
             import signal
 
             asyncio.get_running_loop().add_signal_handler(
                 signal.SIGINT, lambda: asyncio.ensure_future(server.shutdown())
             )
-        except (NotImplementedError, RuntimeError, ValueError):  # pragma: no cover
-            pass  # no signal support here (non-main thread, Windows)
         emit(
             f"serving {directory} on {host}:{server.port} "
             f"(replayed {replayed} WAL transaction(s), "
@@ -433,6 +468,38 @@ def run_serve(
     except KeyboardInterrupt:  # pragma: no cover - interactive
         emit("shutting down")
     return 0
+
+
+def run_analyze(
+    paths: list[str], as_json: bool = False, emit=print
+) -> int:
+    """The ``analyze`` verb; returns the process exit code.
+
+    Every file is a sequence of shell commands (the grammar ``help``
+    prints): typically ``create table``, ``constrain`` and
+    ``create view`` lines.  One shell executes all files in order, so
+    views may reference tables, constraints and views from earlier
+    files; the analyzer then runs once over the combined catalog.
+    Exit code 1 means at least one ERROR-level finding.
+    """
+    shell = Shell()
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as exc:
+            raise ShellError(f"cannot read {path}: {exc}") from exc
+        for number, raw in enumerate(lines, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#") or line.startswith("--"):
+                continue
+            try:
+                shell.execute(line)
+            except ReproError as exc:
+                raise ShellError(f"{path}:{number}: {exc}") from exc
+    report = shell.maintainer.analyze()
+    emit(report.as_json() if as_json else report.format())
+    return 1 if report.has_errors else 0
 
 
 def run_simulate(
@@ -592,6 +659,17 @@ def main(argv: list[str] | None = None) -> int:
     simulate_parser.add_argument(
         "--trace", action="store_true", help="print every episode's full trace"
     )
+    analyze_parser = commands.add_parser(
+        "analyze",
+        help="statically analyze view definitions from spec files",
+    )
+    analyze_parser.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="spec file(s) of shell commands building one catalog",
+    )
+    analyze_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
     options = parser.parse_args(argv)
 
     try:
@@ -614,6 +692,8 @@ def main(argv: list[str] | None = None) -> int:
                 corruption=options.corruption,
                 trace=options.trace,
             )
+        if options.command == "analyze":
+            return run_analyze(options.files, as_json=options.json)
         if options.command == "serve":
             return run_serve(
                 options.directory,

@@ -34,11 +34,16 @@ from repro.algebra.relation import Delta, Relation
 from repro.algebra.schema import RelationSchema
 from repro.algebra.tags import Tag
 from repro.core.differential import changed_positions_for, execute_planner
-from repro.core.irrelevance import FilterStats, RelevanceFilter
+from repro.core.irrelevance import (
+    FilterStats,
+    RelevanceFilter,
+    is_statically_irrelevant,
+)
 from repro.core.planner import IndexProbe, ProbeFn, RowPlanner
 from repro.core.truthtable import count_delta_rows
 from repro.core.views import ViewDefinition
 from repro.errors import MaintenanceError
+from repro.instrumentation import charge
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.database import Database
@@ -78,6 +83,7 @@ class CompiledViewPlan:
         "_view_operands",
         "_schemas",
         "_screens",
+        "_static_irrelevant",
         "_planners",
         "_index_bindings",
     )
@@ -116,6 +122,21 @@ class CompiledViewPlan:
                 ) from None
             self._schemas[name] = schema
             self._screens[name] = RelevanceFilter(self.normal_form, name, schema)
+        # Static irrelevance (the analyzer's check (d), proved here so
+        # the *plan itself* carries the optimization): a relation whose
+        # declared constraint makes C ∧ K_R unsatisfiable for every
+        # occurrence can never contribute a relevant legal update, so
+        # its deltas are dropped with zero per-tuple screening.  The
+        # proof is part of the compiled plan; declare/drop-constraint
+        # DDL events invalidate the plan, re-running it on recompile.
+        constraints = database.constraints
+        self._static_irrelevant: frozenset[str] = frozenset(
+            name
+            for name in self._screens
+            if name not in self._view_operands
+            and (constraint := constraints.get(name)) is not None
+            and is_statically_irrelevant(self.normal_form, name, constraint)
+        )
         # Row planners are keyed by the changed-position tuple (the
         # truth-table shape) and built on first use: a view over p
         # relations has 2^p − 1 possible shapes but a workload usually
@@ -140,7 +161,22 @@ class CompiledViewPlan:
             stats.checked = len(delta.inserted) + len(delta.deleted)
             stats.irrelevant = stats.checked
             return Delta(delta.schema), stats
+        if relation_name in self._static_irrelevant:
+            # Proven at compile time: no legal update to this relation
+            # can affect the view, so the whole delta is discarded with
+            # zero per-tuple screening work.
+            stats = FilterStats()
+            stats.checked = len(delta.inserted) + len(delta.deleted)
+            stats.irrelevant = stats.checked
+            stats.static_dropped = stats.checked
+            charge("static_tuples_dropped", stats.checked)
+            return Delta(delta.schema), stats
         return screen.screen_delta(delta)
+
+    @property
+    def static_irrelevant(self) -> frozenset[str]:
+        """Relations proven statically irrelevant under their constraints."""
+        return self._static_irrelevant
 
     def screens(self) -> Mapping[str, RelevanceFilter]:
         """The compiled per-relation relevance filters (read-only)."""
@@ -276,6 +312,13 @@ class CompiledViewPlan:
         lines = [f"compiled plan for view {name!r}"]
         lines.append("relevance screens (Definition 4.2 split, compiled once):")
         for relation_name in sorted(changed_set & self._screens.keys()):
+            if relation_name in self._static_irrelevant:
+                lines.append(
+                    f"  {relation_name}: statically irrelevant under its "
+                    "declared constraint; deltas dropped without per-tuple "
+                    "screening"
+                )
+                continue
             lines.append(self._screens[relation_name].describe())
         planner = self.planner_for(positions)
         lines.append(planner.describe())

@@ -140,6 +140,74 @@ def conjunctions_equivalent(a: Conjunction, b: Conjunction) -> bool:
     ) and all(implies(b, atom) for atom in a.atoms if not atom.is_ground())
 
 
+def negate_conjunction(conjunction: Conjunction) -> Condition:
+    """``¬(a₁ ∧ … ∧ aₙ)`` as a DNF condition.
+
+    De Morgan turns the conjunction into a disjunction of negated
+    atoms, each of which stays in the class (equality contributes two
+    disjuncts).  Ground atoms fold away: a false one makes the whole
+    negation ``True``, a true one contributes nothing.
+
+    >>> from repro.algebra.conditions import parse_condition
+    >>> conj = parse_condition("x <= 3 and y = 2").disjuncts[0]
+    >>> str(negate_conjunction(conj))
+    '(x >= 4) or (y <= 1) or (y >= 3)'
+    """
+    if not conjunction.atoms:
+        return Condition.false()  # ¬True
+    disjuncts = []
+    for atom in conjunction.atoms:
+        if atom.is_ground():
+            if not atom.truth_value():
+                return Condition.true()
+            continue
+        for negated in negate_atom(atom):
+            disjuncts.append(Conjunction([negated]))
+    return Condition(disjuncts)
+
+
+def negate_condition(condition: Condition, max_disjuncts: int = 512) -> Condition:
+    """``¬condition`` in DNF, distributing over the disjuncts.
+
+    ``¬(D₁ ∨ … ∨ Dₘ)`` conjoins the per-disjunct negations, so the
+    result can grow as the product of their sizes; ``max_disjuncts``
+    bounds the blow-up and raises :class:`ConditionError` beyond it
+    (callers doing best-effort analysis catch and skip).
+    """
+    result = Condition.true()
+    for disjunct in condition.disjuncts:
+        result = result.conjoin(negate_conjunction(disjunct))
+        if len(result.disjuncts) > max_disjuncts:
+            raise ConditionError(
+                f"negation of {condition} exceeds {max_disjuncts} disjuncts"
+            )
+    return result
+
+
+def condition_implies(a: Condition, b: Condition) -> bool:
+    """Does every solution of ``a`` satisfy ``b`` (DNF-level)?
+
+    Decided as unsatisfiability of ``a ∧ ¬b``, the same reduction
+    :func:`implies` uses atom-wise.  May raise
+    :class:`ConditionError` when ``¬b`` explodes past the negation
+    bound.
+
+    >>> from repro.algebra.conditions import parse_condition
+    >>> condition_implies(parse_condition("x > 7"), parse_condition("x > 5"))
+    True
+    >>> condition_implies(parse_condition("x > 5"), parse_condition("x > 7"))
+    False
+    """
+    from repro.core.satisfiability import is_satisfiable
+
+    return not is_satisfiable(a.conjoin(negate_condition(b)))
+
+
+def conditions_equivalent(a: Condition, b: Condition) -> bool:
+    """Do two DNF conditions have identical solution sets?"""
+    return condition_implies(a, b) and condition_implies(b, a)
+
+
 def minimize_condition(condition: Condition) -> Condition:
     """Minimize every disjunct and drop unsatisfiable ones.
 

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro.algebra.conditions import Condition
 from repro.algebra.expressions import NormalForm, Occurrence
 from repro.algebra.relation import Delta, Relation
 from repro.algebra.schema import RelationSchema
@@ -83,6 +84,50 @@ def is_irrelevant_update(
         binding = binding_for(occurrence, schema, values)
         substituted = normal_form.condition.substitute(binding)
         if is_satisfiable(substituted):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Theorem 4.1 — static (per-relation) irrelevance under constraints
+# ----------------------------------------------------------------------
+
+def is_statically_irrelevant(
+    normal_form: NormalForm,
+    relation_name: str,
+    constraint: Condition,
+) -> bool:
+    """Is *every* legal update to ``relation_name`` irrelevant to the view?
+
+    ``constraint`` is the declared per-relation invariant ``K_R`` over
+    R's own attribute names (see
+    :class:`repro.engine.constraints.ConstraintCatalog`).  Theorem 4.1
+    says a tuple ``t`` is irrelevant iff ``C(t, Y₂)`` is unsatisfiable;
+    quantifying over all legal ``t`` turns the per-tuple substitution
+    into a simultaneous satisfiability question with ``t``'s attributes
+    left free:
+
+        R is statically irrelevant  iff  ``C ∧ K_R`` is unsatisfiable
+        for every occurrence of R (with ``K_R`` requalified through the
+        occurrence's rename).
+
+    Soundness and completeness both follow from Theorem 4.1: a
+    satisfying assignment of ``C ∧ K_occ`` restricts to a legal tuple
+    whose substituted condition is satisfiable (some legal update is
+    relevant), and conversely a relevant legal tuple extends to a
+    satisfying assignment.  As everywhere in Section 4, the test is
+    decided over unbounded discrete domains, so over finite domains it
+    may conservatively answer ``False`` but never wrongly ``True``.
+    """
+    occurrences = normal_form.occurrences_of(relation_name)
+    if not occurrences:
+        return True
+    from repro.algebra.expressions import requalify_condition
+
+    charge("static_irrelevance_proofs")
+    for occurrence in occurrences:
+        requalified = requalify_condition(constraint, occurrence.rename)
+        if is_satisfiable(normal_form.condition.conjoin(requalified)):
             return False
     return True
 
@@ -276,19 +321,27 @@ class _DisjunctScreen:
 
 
 class FilterStats:
-    """Counters describing one batch-filtering run."""
+    """Counters describing one batch-filtering run.
 
-    __slots__ = ("checked", "relevant", "irrelevant")
+    ``static_dropped`` counts tuples discarded without *any* per-tuple
+    work because the whole relation was proven statically irrelevant at
+    plan-compile time (:func:`is_statically_irrelevant`); such tuples
+    are included in ``checked`` and ``irrelevant`` so aggregate
+    accounting stays comparable across plans.
+    """
+
+    __slots__ = ("checked", "relevant", "irrelevant", "static_dropped")
 
     def __init__(self) -> None:
         self.checked = 0
         self.relevant = 0
         self.irrelevant = 0
+        self.static_dropped = 0
 
     def __repr__(self) -> str:
         return (
             f"<FilterStats checked={self.checked} relevant={self.relevant} "
-            f"irrelevant={self.irrelevant}>"
+            f"irrelevant={self.irrelevant} static_dropped={self.static_dropped}>"
         )
 
 

@@ -28,6 +28,7 @@ network view-server — therefore runs the same cached plan; the
 
 from __future__ import annotations
 
+import contextlib
 import enum
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
@@ -41,6 +42,7 @@ from repro.errors import MaintenanceError, UnknownViewError
 from repro.instrumentation import charge
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis import AnalysisReport
     from repro.core.consistency import ConsistencyReport
 
 
@@ -62,6 +64,7 @@ class MaintenanceStats:
         "deltas_applied",
         "tuples_screened",
         "tuples_irrelevant",
+        "tuples_static_dropped",
         "view_tuples_inserted",
         "view_tuples_deleted",
         "plan_cache_hits",
@@ -75,6 +78,7 @@ class MaintenanceStats:
         self.deltas_applied = 0
         self.tuples_screened = 0
         self.tuples_irrelevant = 0
+        self.tuples_static_dropped = 0
         self.view_tuples_inserted = 0
         self.view_tuples_deleted = 0
         self.plan_cache_hits = 0
@@ -110,6 +114,11 @@ class ViewMaintainer:
         Reuse compiled maintenance plans across transactions (default
         on; E21's ablation switch — off compiles a fresh plan per
         maintenance call, restoring the pre-cache behavior).
+    strict:
+        Default for :meth:`define_view`'s ``strict`` parameter: run the
+        static analyzer (:mod:`repro.analysis`) on every new definition
+        and reject registrations with ERROR-level findings
+        (:class:`~repro.errors.StrictAnalysisError`).
     auto_verify:
         After every maintenance step, recompute the view from scratch
         and compare — a self-checking mode for tests and debugging.
@@ -122,6 +131,7 @@ class ViewMaintainer:
         share_subexpressions: bool = True,
         use_indexes: bool = True,
         use_plan_cache: bool = True,
+        strict: bool = False,
         auto_verify: bool = False,
     ) -> None:
         self.database = database
@@ -129,6 +139,7 @@ class ViewMaintainer:
         self.share_subexpressions = share_subexpressions
         self.use_indexes = use_indexes
         self.use_plan_cache = use_plan_cache
+        self.strict = strict
         self.auto_verify = auto_verify
         self._views: dict[str, MaterializedView] = {}
         self._policies: dict[str, MaintenancePolicy] = {}
@@ -152,6 +163,7 @@ class ViewMaintainer:
         name: str,
         expression: Expression,
         policy: MaintenancePolicy = MaintenancePolicy.IMMEDIATE,
+        strict: bool | None = None,
     ) -> MaterializedView:
         """Register and materialize a view.
 
@@ -164,8 +176,29 @@ class ViewMaintainer:
         relation whose per-commit delta is the one this maintainer just
         applied to it.  Upstream views must be IMMEDIATE — a deferred
         upstream has no per-commit delta to propagate.
+
+        With ``strict`` (default: the maintainer's ``strict`` setting)
+        the definition first runs through the static analyzer; any
+        ERROR-level finding — today, a provably unsatisfiable condition
+        (the view would be empty in every database state) — rejects the
+        registration with :class:`~repro.errors.StrictAnalysisError`
+        before anything is materialized.  WARN/INFO findings never
+        block; read them via :meth:`analyze`.
         """
         definition, referenced = self._validated_definition(name, expression)
+        effective_strict = self.strict if strict is None else strict
+        if effective_strict:
+            from repro.analysis import Severity, analyze_definition
+            from repro.errors import StrictAnalysisError
+
+            findings = analyze_definition(
+                definition, constraints=self.database.constraints
+            )
+            errors = tuple(
+                f for f in findings if f.severity is Severity.ERROR
+            )
+            if errors:
+                raise StrictAnalysisError(name, errors)
         view = MaterializedView.materialize(definition, self._combined_instances())
         return self._install_view(view, referenced, policy)
 
@@ -381,10 +414,8 @@ class ViewMaintainer:
         self, name: str, callback: Callable[[MaterializedView, Delta], None]
     ) -> None:
         """Remove a previously registered subscriber (no-op if absent)."""
-        try:
+        with contextlib.suppress(ValueError):
             self._subscribers.get(name, []).remove(callback)
-        except ValueError:
-            pass
 
     def view(self, name: str) -> MaterializedView:
         """The materialized view registered under ``name``."""
@@ -427,6 +458,21 @@ class ViewMaintainer:
         """
         self._require_view(name)
         return self._plan_for(name).describe(changed_relations)
+
+    def analyze(self) -> "AnalysisReport":
+        """Run the full static analyzer over every registered view.
+
+        Per-view checks (unsatisfiable conditions, dead disjuncts,
+        redundant atoms, loosenable bounds, static irrelevance under
+        declared constraints, compiled-plan lint) plus the cross-view
+        subsumption/equivalence pass.  Returns an
+        :class:`~repro.analysis.AnalysisReport`; rendering it with
+        ``format()`` or ``as_json()`` is deterministic for a given
+        catalog state.
+        """
+        from repro.analysis import analyze_maintainer
+
+        return analyze_maintainer(self)
 
     def recommended_indexes(self, name: str) -> tuple[tuple[str, tuple[str, ...]], ...]:
         """Indexes the planner would probe while maintaining this view.
@@ -641,6 +687,7 @@ class ViewMaintainer:
                     filtered, filter_stats = plan.screen(relation_name, delta)
                     stats.tuples_screened += filter_stats.checked
                     stats.tuples_irrelevant += filter_stats.irrelevant
+                    stats.tuples_static_dropped += filter_stats.static_dropped
                     if not filtered.is_empty():
                         relevant[relation_name] = filtered
                 else:

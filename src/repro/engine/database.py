@@ -17,22 +17,33 @@ A :class:`Database` owns:
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+from contextlib import contextmanager, suppress
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+from repro.algebra.conditions import Condition
 from repro.algebra.relation import Delta, Relation
 from repro.algebra.schema import RelationSchema
 from repro.algebra.tuples import Row
+from repro.engine.constraints import (
+    ConstraintCatalog,
+    find_violations,
+    validate_constraint_condition,
+)
 from repro.engine.indexes import IndexManager
 from repro.engine.log import UpdateLog
 from repro.engine.transactions import Transaction
-from repro.errors import SchemaError, UnknownRelationError
+from repro.errors import (
+    ConstraintError,
+    ConstraintViolationError,
+    SchemaError,
+    UnknownRelationError,
+)
 
 CommitHook = Callable[[int, Mapping[str, Delta]], None]
 
 #: A schema/DDL observer: ``hook(event, relation_name)`` where event is
 #: one of ``"create_relation"``, ``"drop_relation"``, ``"create_index"``,
-#: ``"drop_index"``.
+#: ``"drop_index"``, ``"declare_constraint"``, ``"drop_constraint"``.
 DdlHook = Callable[[str, str], None]
 
 
@@ -45,6 +56,7 @@ class Database:
         self.log = UpdateLog()
         self.indexes = IndexManager()
         self.indexes.on_change = self._notify_ddl
+        self.constraints = ConstraintCatalog(notify=self._notify_ddl)
         self._commit_hooks: list[CommitHook] = []
         self._ddl_hooks: list[DdlHook] = []
 
@@ -85,6 +97,9 @@ class Database:
         # run over a live view of it.
         for index in list(self.indexes.indexes_on(name)):
             self.indexes.drop_index(name, index.attributes)
+        # The constraint dies with its relation; drop_relation's own DDL
+        # event already reaches every dependent, so no second event.
+        self.constraints.discard(name)
         self._notify_ddl("drop_relation", name)
 
     def relation(self, name: str) -> Relation:
@@ -115,6 +130,49 @@ class Database:
     def drop_index(self, relation_name: str, attributes: Sequence[str]) -> bool:
         """Drop a hash index; returns True when one existed."""
         return self.indexes.drop_index(relation_name, attributes)
+
+    def declare_constraint(
+        self, relation_name: str, condition: object
+    ) -> Condition:
+        """Declare that every tuple of ``relation_name`` satisfies
+        ``condition`` (a Condition or a parseable string over the
+        relation's attribute names).
+
+        Existing rows are validated immediately — a constraint records
+        an invariant, it cannot create one — and from here on the
+        commit pipeline rejects transactions inserting violating tuples
+        (:class:`~repro.errors.ConstraintViolationError`).  Declaring
+        fires a ``declare_constraint`` DDL event, invalidating any
+        compiled maintenance plan whose static-irrelevance proofs the
+        new premise could change; re-declaring replaces the previous
+        condition.
+        """
+        relation = self.relation(relation_name)
+        coerced = Condition.coerce(condition)
+        validate_constraint_condition(relation_name, coerced, relation.schema)
+        violations = find_violations(
+            relation_name, coerced, relation.schema, relation
+        )
+        if violations:
+            preview = ", ".join(map(str, violations[:3]))
+            if len(violations) > 3:
+                preview += ", …"
+            raise ConstraintError(
+                f"cannot declare constraint {coerced} on {relation_name!r}: "
+                f"existing rows violate it: {preview}"
+            )
+        self.constraints.declare(relation_name, coerced)
+        return coerced
+
+    def drop_constraint(self, relation_name: str) -> bool:
+        """Drop a declared constraint; returns True when one existed.
+
+        Fires a ``drop_constraint`` DDL event: plans that statically
+        dropped the relation's screening on the constraint's strength
+        must recompile without it.
+        """
+        self.relation(relation_name)  # unknown names fail loudly
+        return self.constraints.drop(relation_name)
 
     # ------------------------------------------------------------------
     # Transactions
@@ -194,10 +252,8 @@ class Database:
 
     def remove_commit_hook(self, hook: CommitHook) -> None:
         """Unregister a previously added hook (no-op when absent)."""
-        try:
+        with suppress(ValueError):
             self._commit_hooks.remove(hook)
-        except ValueError:
-            pass
 
     def add_ddl_hook(self, hook: DdlHook) -> None:
         """Register a schema-change observer.
@@ -212,10 +268,8 @@ class Database:
 
     def remove_ddl_hook(self, hook: DdlHook) -> None:
         """Unregister a previously added DDL hook (no-op when absent)."""
-        try:
+        with suppress(ValueError):
             self._ddl_hooks.remove(hook)
-        except ValueError:
-            pass
 
     def _notify_ddl(self, event: str, relation_name: str) -> None:
         # Unlike commit hooks (observers of an already-durable fact,
@@ -234,6 +288,33 @@ class Database:
                     failure = exc
         if failure is not None:
             raise failure
+
+    def _check_constraints(
+        self, txn: Transaction, deltas: Mapping[str, Delta]
+    ) -> None:
+        """Reject a commit whose inserts violate a declared constraint.
+
+        Called by :meth:`Transaction.commit` before the transaction
+        leaves the active state, so a violation aborts cleanly with no
+        state changed.  Deletions cannot violate a tuple-wise
+        invariant, so only the inserted side is checked.
+        """
+        if not len(self.constraints):
+            return
+        for name, delta in deltas.items():
+            condition = self.constraints.get(name)
+            if condition is None or not delta.inserted:
+                continue
+            schema = self._relations[name].schema
+            violations = find_violations(name, condition, schema, delta.inserted)
+            if violations:
+                preview = ", ".join(map(str, violations[:3]))
+                if len(violations) > 3:
+                    preview += ", …"
+                raise ConstraintViolationError(
+                    f"transaction {txn.txn_id} violates the constraint "
+                    f"{condition} on {name!r}: {preview}"
+                )
 
     def _apply_commit(self, txn: Transaction, deltas: Mapping[str, Delta]) -> None:
         """Apply a transaction's net effect (called by Transaction.commit)."""

@@ -164,6 +164,10 @@ class Transaction:
         """
         self._require_active()
         deltas = self.net_deltas()
+        # Declared-constraint enforcement runs while the transaction is
+        # still active: a violation propagates with nothing applied and
+        # the transaction abortable as usual.
+        self._database._check_constraints(self, deltas)
         self.state = TransactionState.COMMITTED
         self._database._apply_commit(self, deltas)
         return deltas

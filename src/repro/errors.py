@@ -60,6 +60,23 @@ class UnknownRelationError(TransactionError):
     """A statement referenced a base relation the database does not hold."""
 
 
+class ConstraintError(ReproError):
+    """A relation constraint is malformed or cannot be declared.
+
+    Raised when a constraint references attributes outside its
+    relation's schema, targets an unknown relation, or would be
+    violated by rows the relation already holds.
+    """
+
+
+class ConstraintViolationError(TransactionError):
+    """A transaction tried to insert tuples violating a declared constraint.
+
+    Enforcement happens before the commit mutates any state, so the
+    transaction's effects are discarded in full.
+    """
+
+
 class UnknownViewError(ReproError):
     """A maintenance request referenced a view that was never registered."""
 
@@ -75,6 +92,31 @@ class ViewDefinitionError(ExpressionError):
 
 class MaintenanceError(ReproError):
     """Differential maintenance failed or was invoked inconsistently."""
+
+
+class AnalysisError(ReproError):
+    """The static view analyzer was invoked inconsistently.
+
+    Raised for malformed analysis requests (unknown views, conditions
+    outside the tractable class surfacing mid-analysis); *findings* are
+    not errors — they are data on the report.
+    """
+
+
+class StrictAnalysisError(MaintenanceError):
+    """Strict registration rejected a view over ERROR-level findings.
+
+    Carries the offending :class:`repro.analysis.findings.Finding`
+    objects on :attr:`findings` so callers can render or log them.
+    """
+
+    def __init__(self, view_name: str, findings: tuple) -> None:
+        self.view_name = view_name
+        self.findings = tuple(findings)
+        details = "; ".join(f.message for f in self.findings)
+        super().__init__(
+            f"strict analysis rejected view {view_name!r}: {details}"
+        )
 
 
 class ReplicationError(ReproError):

@@ -34,7 +34,14 @@ one call site):
   :func:`repro.engine.log.replay_records` during crash recovery and
   changefeed catch-up;
 * serving (``server_*``) — request, session and changefeed counters
-  charged by :mod:`repro.server` (see ``docs/server.md``).
+  charged by :mod:`repro.server` (see ``docs/server.md``);
+* analysis (``analysis_*`` and static proofs) — ``analysis_runs``,
+  ``analysis_definitions_checked`` and ``analysis_view_pairs_compared``
+  charged by :mod:`repro.analysis`, plus
+  ``static_irrelevance_proofs`` (Theorem 4.1 proofs attempted) and
+  ``static_tuples_dropped`` (tuples discarded with zero per-tuple
+  screening by a compiled plan's static-irrelevance short-circuit; see
+  ``docs/analysis.md``).
 
 Usage::
 

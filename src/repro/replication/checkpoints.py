@@ -60,7 +60,9 @@ def checkpoint_paths(directory: str) -> list[tuple[int, str]]:
         try:
             sequence = int(stem)
         except ValueError:
-            raise ReplicationError(f"unrecognized checkpoint name {entry!r}")
+            raise ReplicationError(
+                f"unrecognized checkpoint name {entry!r}"
+            ) from None
         found.append((sequence, os.path.join(directory, entry)))
     found.sort()
     return found

@@ -143,7 +143,9 @@ def segment_paths(directory: str) -> list[tuple[int, str]]:
         try:
             first_sequence = int(stem)
         except ValueError:
-            raise WalCorruptionError(f"unrecognized segment name {entry!r}")
+            raise WalCorruptionError(
+                f"unrecognized segment name {entry!r}"
+            ) from None
         segments.append((first_sequence, os.path.join(directory, entry)))
     segments.sort()
     return segments

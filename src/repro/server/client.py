@@ -17,6 +17,7 @@ with the server's closed-vocabulary error code; a dropped connection
 
 from __future__ import annotations
 
+import contextlib
 import socket
 from collections import deque
 from typing import Any
@@ -221,11 +222,9 @@ class ViewClient:
         if self._closed:
             return
         self._closed = True
-        try:
+        with contextlib.suppress(OSError):  # close races are harmless
             self._stream.close()
             self._socket.close()
-        except OSError:  # pragma: no cover - close races are harmless
-            pass
 
     def __enter__(self) -> "ViewClient":
         return self

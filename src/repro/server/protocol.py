@@ -107,7 +107,9 @@ def decode_payload(payload: bytes) -> dict[str, Any]:
     try:
         doc = json.loads(payload.decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
-        raise ProtocolError(E_BAD_FRAME, f"frame payload is not JSON: {exc}")
+        raise ProtocolError(
+            E_BAD_FRAME, f"frame payload is not JSON: {exc}"
+        ) from exc
     if not isinstance(doc, dict):
         raise ProtocolError(E_BAD_FRAME, "frame payload must be a JSON object")
     return doc
@@ -136,13 +138,13 @@ async def read_frame_async(reader, max_frame_bytes: int) -> dict[str, Any] | Non
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None
-        raise ProtocolError(E_BAD_FRAME, "connection closed mid-header")
+        raise ProtocolError(E_BAD_FRAME, "connection closed mid-header") from exc
     (length,) = _HEADER.unpack(header)
     check_frame_length(length, max_frame_bytes)
     try:
         payload = await reader.readexactly(length)
-    except asyncio.IncompleteReadError:
-        raise ProtocolError(E_BAD_FRAME, "connection closed mid-frame")
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(E_BAD_FRAME, "connection closed mid-frame") from exc
     return decode_payload(payload)
 
 

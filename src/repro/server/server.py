@@ -25,6 +25,7 @@ protocol description.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import threading
 from collections import deque
 from typing import TYPE_CHECKING, Any, Mapping
@@ -258,13 +259,12 @@ class ViewServer:
         await session.run()
 
     async def _reject(self, writer, code: str, message: str) -> None:
-        try:
+        # Suppressed errors mean the peer vanished mid-rejection.
+        with contextlib.suppress(ConnectionError, OSError):
             writer.write(protocol.encode_frame(protocol.response_error(None, code, message)))
             await writer.drain()
             writer.close()
             await writer.wait_closed()
-        except (ConnectionError, OSError):  # peer vanished mid-rejection
-            pass
 
     def open_local_session(self, transport) -> LocalSession:
         """Admit one in-process client over an injectable transport.
@@ -396,18 +396,16 @@ class ViewServer:
 
     def _resolve_target(self, name: str) -> tuple[str, Relation, int]:
         """``(kind, contents, sequence)`` for a view or base relation."""
-        try:
+        with contextlib.suppress(UnknownViewError):
             view = self.maintainer.view(name)
             return "view", view.contents, view.last_refresh_sequence
-        except UnknownViewError:
-            pass
         try:
             relation = self.database.relation(name)
         except UnknownRelationError:
             raise ProtocolError(
                 protocol.E_UNKNOWN_TARGET,
                 f"{name!r} names neither a view nor a base relation",
-            )
+            ) from None
         return "relation", relation, self.database.log.last_sequence()
 
     def _op_query(self, session: Session, doc: Mapping[str, Any]) -> dict[str, Any]:
@@ -424,7 +422,7 @@ class ViewServer:
             try:
                 condition = Condition.coerce(where)
             except ConditionError as exc:
-                raise ProtocolError(protocol.E_BAD_CONDITION, str(exc))
+                raise ProtocolError(protocol.E_BAD_CONDITION, str(exc)) from exc
             unknown = condition.variables() - set(names)
             if unknown:
                 raise ProtocolError(
@@ -447,7 +445,7 @@ class ViewServer:
                 raise ProtocolError(
                     protocol.E_BAD_REQUEST,
                     f"'select' names {missing} not in {target!r} {list(names)}",
-                )
+                ) from None
 
         # Iterate in sorted-encoded order — the exact order of
         # persistence.relation_to_document, so an unfiltered view query
@@ -522,7 +520,7 @@ class ViewServer:
             if txn.state.value == "active":
                 txn.abort()
             self.recorder.incr("server_txns_failed")
-            raise ProtocolError(protocol.E_TXN_FAILED, str(exc))
+            raise ProtocolError(protocol.E_TXN_FAILED, str(exc)) from exc
         self.recorder.incr("server_txns_committed")
         applied = {
             name: {
@@ -547,7 +545,7 @@ class ViewServer:
             raise ProtocolError(
                 protocol.E_UNKNOWN_TARGET,
                 f"{view_name!r} names no view (subscriptions are per-view)",
-            )
+            ) from None
         feed = self._attach_feed(view_name)
         current = view.last_refresh_sequence
         replay: list[tuple[int, dict[str, Any]]] = []
@@ -679,10 +677,8 @@ class ServerHandle:
             return
         assert self._loop is not None
         future = asyncio.run_coroutine_threadsafe(self.server.shutdown(), self._loop)
-        try:
+        with contextlib.suppress(TimeoutError, RuntimeError):  # loop already gone
             future.result(timeout)
-        except (TimeoutError, RuntimeError):  # loop already gone
-            pass
         self._thread.join(timeout)
 
     def __enter__(self) -> "ServerHandle":

@@ -19,6 +19,7 @@ everyone else.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 from typing import Any
 
 from repro.server import protocol
@@ -178,10 +179,8 @@ class Session:
         outbox so queued responses still reach the client.
         """
         self.closing = True
-        try:
+        with contextlib.suppress(asyncio.TimeoutError, TimeoutError):
             await asyncio.wait_for(self._idle.wait(), timeout)
-        except (asyncio.TimeoutError, TimeoutError):
-            pass
         if self.task is not None:
             self.task.cancel()
 
@@ -202,11 +201,9 @@ class Session:
                 )
             except (asyncio.TimeoutError, TimeoutError, asyncio.CancelledError):
                 self._writer_task.cancel()
-        try:
+        with contextlib.suppress(ConnectionError, OSError, asyncio.CancelledError):
             self.writer.close()
             await self.writer.wait_closed()
-        except (ConnectionError, OSError, asyncio.CancelledError):
-            pass
         self.server.release_session(self)
 
     def __repr__(self) -> str:

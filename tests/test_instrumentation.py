@@ -10,6 +10,8 @@ from __future__ import annotations
 import asyncio
 import threading
 
+import pytest
+
 from repro.instrumentation import (
     CostRecorder,
     active_recorder,
@@ -68,11 +70,8 @@ class TestRecordingContext:
 
     def test_restores_on_exception(self):
         recorder = CostRecorder()
-        try:
-            with recording(recorder):
-                raise RuntimeError("boom")
-        except RuntimeError:
-            pass
+        with pytest.raises(RuntimeError), recording(recorder):
+            raise RuntimeError("boom")
         assert active_recorder() is None
 
 

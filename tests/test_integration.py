@@ -149,12 +149,9 @@ class TestErrorRecovery:
         db.create_relation("r", ["A", "B"], [(1, 1)])
         maintainer = ViewMaintainer(db)
         view = maintainer.define_view("v", BaseRef("r"))
-        try:
-            with db.transact() as txn:
-                txn.insert("r", (2, 2))
-                raise RuntimeError
-        except RuntimeError:
-            pass
+        with pytest.raises(RuntimeError), db.transact() as txn:
+            txn.insert("r", (2, 2))
+            raise RuntimeError
         with db.transact() as txn:
             txn.insert("r", (3, 3))
         assert (3, 3) in view.contents
