@@ -1,0 +1,1 @@
+"""Paper-experiment benchmarks (a package so tests can import conftest helpers)."""

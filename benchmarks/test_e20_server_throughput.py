@@ -14,17 +14,17 @@ Set ``REPRO_E20_SMOKE=1`` (CI does) to shrink the workload to a smoke
 test of the same code paths.
 """
 
-import os
 import threading
 import time
 
+from benchmarks.conftest import smoke_env
 from repro.algebra.expressions import BaseRef
 from repro.bench.reporting import format_table
 from repro.core.maintainer import ViewMaintainer
 from repro.engine.database import Database
 from repro.server import ServerConfig, ServerHandle, ViewClient, ViewServer
 
-SMOKE = bool(os.environ.get("REPRO_E20_SMOKE"))
+SMOKE = smoke_env("E20")
 TXNS = 30 if SMOKE else 250
 QUERIES = 30 if SMOKE else 400
 FANOUT_TXNS = 20 if SMOKE else 120

@@ -15,17 +15,17 @@ Set ``REPRO_E21_SMOKE=1`` (CI does) to shrink the workload to a smoke
 run that checks the machinery rather than the numbers.
 """
 
-import os
 import random
 import time
 
+from benchmarks.conftest import smoke_env
 from repro.algebra.expressions import BaseRef
 from repro.bench.reporting import format_table
 from repro.core.maintainer import ViewMaintainer
 from repro.engine.database import Database
 from repro.instrumentation import CostRecorder, recording
 
-SMOKE = bool(os.environ.get("REPRO_E21_SMOKE"))
+SMOKE = smoke_env("E21")
 TRANSACTIONS = 40 if SMOKE else 400
 BASE = 500 if SMOKE else 4000
 VIEWS = 2 if SMOKE else 4

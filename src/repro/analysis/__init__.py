@@ -37,6 +37,10 @@ from repro.analysis.findings import (
     Finding,
     Severity,
 )
+from repro.analysis.routing import (
+    is_shard_irrelevant,
+    shard_effective_condition,
+)
 
 __all__ = [
     "AnalysisReport",
@@ -55,4 +59,6 @@ __all__ = [
     "analyze_definition",
     "analyze_maintainer",
     "cross_view_findings",
+    "is_shard_irrelevant",
+    "shard_effective_condition",
 ]

@@ -1,0 +1,86 @@
+"""Shard-aware static irrelevance: Theorem 4.1 as a routing oracle.
+
+PR 5 turned the paper's Theorem 4.1 into a registration-time proof:
+an update to relation ``R`` is *statically irrelevant* to a view when
+the view condition, conjoined with ``R``'s declared constraint
+requalified at each occurrence of ``R``, is unsatisfiable.  This module
+quantifies the same theorem over a *set* of per-relation premises — one
+per operand — so it can answer the question a sharded cluster's
+coordinator asks before shipping a delta:
+
+    On a shard whose local instance of every relation ``S`` provably
+    satisfies premise ``P_S`` (the declared global constraint,
+    strengthened for partitioned relations by the shard's key-range),
+    can a delta of relation ``R`` ever change this view's contents?
+
+The answer is sound in the same way Theorem 4.1 is: every view tuple
+requires an assignment satisfying the view condition with each operand
+position filled by a tuple satisfying that relation's premise, so if
+the *effective condition* — the view condition conjoined with every
+occurrence's requalified premise — is unsatisfiable, the view is
+provably empty on that shard and no delta of any operand can ever
+produce or remove a view tuple there.  The test is conservative:
+``False`` ("may be relevant") is always a safe answer.
+
+All conditions stay inside the Rosenkrantz–Hunt class, so each proof is
+one polynomial :func:`~repro.core.satisfiability.is_satisfiable` call,
+charged to the ``cluster_routing_proofs`` counter.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.algebra.conditions import Condition
+from repro.algebra.expressions import NormalForm, requalify_condition
+from repro.core.satisfiability import is_satisfiable
+from repro.instrumentation import charge
+
+__all__ = [
+    "is_shard_irrelevant",
+    "shard_effective_condition",
+]
+
+
+def shard_effective_condition(
+    normal_form: NormalForm, premises: Mapping[str, Condition]
+) -> Condition:
+    """The view condition strengthened by every operand's shard premise.
+
+    ``premises`` maps relation names to conditions (over each
+    relation's *own* attribute names) known to hold for every tuple of
+    that relation on the shard under consideration — the declared
+    global constraint, conjoined for partitioned relations with the
+    shard's key-range.  Each premise is requalified through every
+    occurrence's rename and conjoined onto the view condition; missing
+    or trivially true premises add nothing.
+    """
+    effective = normal_form.condition
+    for occurrence in normal_form.occurrences:
+        premise = premises.get(occurrence.name)
+        if premise is None or premise.is_true():
+            continue
+        effective = effective.conjoin(
+            requalify_condition(premise, occurrence.rename)
+        )
+    return effective
+
+
+def is_shard_irrelevant(
+    normal_form: NormalForm,
+    relation_name: str,
+    premises: Mapping[str, Condition],
+) -> bool:
+    """Can no delta of ``relation_name`` ever affect this view on a
+    shard whose operands satisfy ``premises``?
+
+    ``True`` is a proof (the effective condition is unsatisfiable, so
+    the view is empty on that shard in every reachable state — a stale
+    local copy of ``relation_name`` can never surface); ``False`` means
+    "not provably irrelevant" and the delta must be shipped.  Views
+    that never reference ``relation_name`` are trivially unaffected.
+    """
+    if not normal_form.occurrences_of(relation_name):
+        return True
+    charge("cluster_routing_proofs")
+    return not is_satisfiable(shard_effective_condition(normal_form, premises))

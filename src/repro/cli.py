@@ -24,10 +24,21 @@ Invocations::
         the checkpoint adopt their stored contents and catch up
         differentially.  Commits from clients are appended to DIR's
         WAL.  Ctrl-C shuts down gracefully.
+    python -m repro.cli serve-cluster DIR --shards N
+                                 --partition "rel:key:b1,b2,..."
+                                 [--view NAME=SPEC]* [--host H] [--port P]
+        Recover the database in DIR, split it across N in-process
+        shards (each --partition names one relation's integer key and
+        its N-1 strictly increasing range boundaries; unlisted
+        relations replicate), and serve the cluster over the same wire
+        protocol as ``serve`` (docs/cluster.md).  Every --view must
+        reference exactly one partitioned relation.  The cluster serves
+        from memory: commits are NOT appended back to DIR's WAL.
     python -m repro.cli simulate [--seed N] [--episodes N] [--events N]
                                  [--followers N] [--clients N]
                                  [--no-crashes] [--no-partitions]
                                  [--no-ddl] [--corruption] [--trace]
+                                 [--sharded [--shards N] [--broadcast]]
         Run the deterministic simulation harness (docs/testing.md):
         seeded random workloads under injected crashes, torn writes,
         lost fsyncs and network faults, checked after every quiescent
@@ -470,6 +481,114 @@ def run_serve(
     return 0
 
 
+def parse_partition_option(text: str):
+    """``rel:key:b1,b2,...`` → a :class:`~repro.cluster.topology.
+    PartitionSpec` (boundaries may be empty for a 1-shard cluster)."""
+    from repro.cluster.topology import PartitionSpec
+
+    parts = text.split(":")
+    if len(parts) not in (2, 3) or not parts[0].strip() or not parts[1].strip():
+        raise ShellError(
+            "--partition expects 'rel:key:b1,b2,...', e.g. 'r:A:10,20'; "
+            f"got {text!r}"
+        )
+    relation, key = parts[0].strip(), parts[1].strip()
+    boundary_text = parts[2].strip() if len(parts) == 3 else ""
+    try:
+        boundaries = [
+            int(piece) for piece in boundary_text.split(",") if piece.strip()
+        ]
+    except ValueError:
+        raise ShellError(
+            f"--partition boundaries must be integers; got {text!r}"
+        ) from None
+    return PartitionSpec(relation, key, boundaries)
+
+
+def run_serve_cluster(
+    directory: str,
+    shards: int,
+    partition_options: list[str],
+    view_options: list[str] | None = None,
+    host: str = "127.0.0.1",
+    port: int = 7707,
+    emit=print,
+    on_start=None,
+) -> int:
+    """The ``serve-cluster`` verb: recover DIR, shard it, serve it.
+
+    The recovered base relations, constraints and requested views are
+    re-homed onto an in-process cluster (docs/cluster.md): shard 0 is
+    the home shard, DirectLink transports keep client transactions
+    synchronous, and the analyzer-derived routing table is printed at
+    startup.  Unlike ``serve``, the cluster holds everything in memory
+    and does not append commits back to DIR's WAL.
+    """
+    import asyncio
+
+    from repro.cluster.coordinator import build_cluster
+    from repro.cluster.frontend import ClusterServer
+    from repro.cluster.topology import ClusterTopology
+    from repro.replication.recovery import Recovery
+    from repro.server.server import ServerConfig
+
+    recovery = Recovery(directory)
+    replayed = recovery.replay()
+    database = recovery.database
+    topology = ClusterTopology(
+        shards, [parse_partition_option(option) for option in partition_options]
+    )
+    tables = {
+        name: list(database.relation(name).schema.names)
+        for name in database.relation_names()
+    }
+    rows = {
+        name: [
+            database.relation(name).schema.decode_values(values)
+            for values in sorted(database.relation(name).value_tuples())
+        ]
+        for name in database.relation_names()
+    }
+    constraints = dict(database.constraints.items())
+    views = [parse_view_option(option) for option in (view_options or [])]
+    coordinator = build_cluster(
+        topology, tables, rows, constraints, views
+    )
+    server = ClusterServer(coordinator, ServerConfig(host=host, port=port))
+
+    async def _serve() -> None:
+        try:
+            await server.start()
+        except OSError as exc:
+            raise ReproError(f"cannot bind {host}:{port}: {exc}") from exc
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            import signal
+
+            asyncio.get_running_loop().add_signal_handler(
+                signal.SIGINT, lambda: asyncio.ensure_future(server.shutdown())
+            )
+        routing = coordinator.routing.describe()
+        emit(
+            f"serving {directory} as a {shards}-shard cluster on "
+            f"{host}:{server.port} (replayed {replayed} WAL "
+            f"transaction(s), views: "
+            f"{', '.join(name for name, _ in views) or 'none'})"
+        )
+        for line in routing:
+            emit(f"  routing: {line}")
+        if not routing:
+            emit("  routing: no provably skippable deltas")
+        if on_start is not None:  # embedding/test hook, called in-loop
+            on_start(server)
+        await server.wait_closed()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        emit("shutting down")
+    return 0
+
+
 def run_analyze(
     paths: list[str], as_json: bool = False, emit=print
 ) -> int:
@@ -541,6 +660,39 @@ def run_simulate(
             emit(f"episode seed={result.seed}")
             for line in result.trace:
                 emit(f"  {line}")
+    return 0 if report.ok else 1
+
+
+def run_simulate_cluster(
+    seed: int = 0,
+    episodes: int = 5,
+    events: int = 60,
+    shards: int = 3,
+    crashes: bool = True,
+    partitions: bool = True,
+    routed: bool = True,
+    emit=print,
+) -> int:
+    """The ``simulate --sharded`` verb; returns the process exit code.
+
+    Runs the sharded-cluster harness of docs/cluster.md: seeded client
+    transactions against an in-process cluster over lossy simulated
+    links, with shard crashes and coordinator-side partitions, checked
+    at quiescence against a single-node full recompute.
+    """
+    from repro.cluster.sim import ClusterSimConfig, run_cluster_simulation
+
+    config = ClusterSimConfig(
+        seed=seed,
+        episodes=episodes,
+        events=events,
+        shards=shards,
+        crashes=crashes,
+        partitions=partitions,
+        routed=routed,
+    )
+    report = run_cluster_simulation(config)
+    emit(report.format())
     return 0 if report.ok else 1
 
 
@@ -623,6 +775,39 @@ def main(argv: list[str] | None = None) -> int:
             "'hot=r join s where C > 5 select A, C' (repeatable)"
         ),
     )
+    cluster_parser = commands.add_parser(
+        "serve-cluster",
+        help="recover a database and serve it as a sharded cluster",
+    )
+    cluster_parser.add_argument("directory")
+    cluster_parser.add_argument("--host", default="127.0.0.1")
+    cluster_parser.add_argument("--port", type=int, default=7707)
+    cluster_parser.add_argument(
+        "--shards", type=int, default=2, help="shard count (default 2)"
+    )
+    cluster_parser.add_argument(
+        "--partition",
+        dest="partitions",
+        action="append",
+        default=[],
+        metavar="REL:KEY:B1,B2,...",
+        help=(
+            "partition one relation by an integer key with N-1 strictly "
+            "increasing boundaries, e.g. 'r:A:10,20' (repeatable; "
+            "unlisted relations replicate to every shard)"
+        ),
+    )
+    cluster_parser.add_argument(
+        "--view",
+        dest="views",
+        action="append",
+        default=[],
+        metavar="NAME=SPEC",
+        help=(
+            "define one served view with the shell grammar; it must "
+            "reference exactly one partitioned relation (repeatable)"
+        ),
+    )
     simulate_parser = commands.add_parser(
         "simulate",
         help="run the deterministic fault-injection simulator",
@@ -659,6 +844,18 @@ def main(argv: list[str] | None = None) -> int:
     simulate_parser.add_argument(
         "--trace", action="store_true", help="print every episode's full trace"
     )
+    simulate_parser.add_argument(
+        "--sharded", action="store_true",
+        help="run the sharded-cluster harness instead (docs/cluster.md)",
+    )
+    simulate_parser.add_argument(
+        "--shards", type=int, default=3,
+        help="shard count for --sharded (default 3)",
+    )
+    simulate_parser.add_argument(
+        "--broadcast", action="store_true",
+        help="with --sharded: disable analyzer-driven delta skipping",
+    )
     analyze_parser = commands.add_parser(
         "analyze",
         help="statically analyze view definitions from spec files",
@@ -679,6 +876,16 @@ def main(argv: list[str] | None = None) -> int:
             if options.shell:  # pragma: no cover - interactive
                 return repl(Shell(database))
             return 0
+        if options.command == "simulate" and options.sharded:
+            return run_simulate_cluster(
+                seed=options.seed,
+                episodes=options.episodes,
+                events=options.events,
+                shards=options.shards,
+                crashes=not options.no_crashes,
+                partitions=not options.no_partitions,
+                routed=not options.broadcast,
+            )
         if options.command == "simulate":
             return run_simulate(
                 seed=options.seed,
@@ -700,6 +907,15 @@ def main(argv: list[str] | None = None) -> int:
                 host=options.host,
                 port=options.port,
                 view_options=options.views,
+            )
+        if options.command == "serve-cluster":
+            return run_serve_cluster(
+                options.directory,
+                shards=options.shards,
+                partition_options=options.partitions,
+                view_options=options.views,
+                host=options.host,
+                port=options.port,
             )
         run_follow(
             options.directory,

@@ -1,0 +1,143 @@
+"""The routing table: which (shard, relation) deltas never matter.
+
+Derived once at cluster construction from three static inputs — the
+topology, the declared global constraints, and every view's normal
+form — by quantifying Theorem 4.1 over each shard's premises
+(:func:`repro.analysis.routing.is_shard_irrelevant`).  A replicated
+relation's delta is *skippable* for a shard when **every** registered
+view that references the relation is provably unaffected on that shard;
+the coordinator then never ships that relation's deltas there, and the
+shard's stale local copy is harmless because each such view is provably
+empty on that shard in every reachable state.
+
+Partitioned relations are never in the table: their deltas route by
+key, row by row, to exactly the owner shard.  :data:`~repro.cluster.
+topology.HOME_SHARD` is never skipped either — it keeps the
+authoritative, delta-complete copy of every replicated relation.
+
+This module also enforces the *shardable class*: a view must contain
+exactly one occurrence of exactly one partitioned relation, so every
+output tuple derives from exactly one shard's slice and the merged
+cluster view is a disjoint bag-union of the per-shard views.  Views
+over only replicated operands (each shard would compute the full view,
+and the merge would multiply counts) and joins or self-joins across
+partitioned occurrences (cross-shard joins) are rejected with
+:class:`~repro.errors.ClusterError` at registration.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.algebra.conditions import Condition
+from repro.algebra.expressions import NormalForm
+from repro.analysis.routing import is_shard_irrelevant
+from repro.cluster.topology import HOME_SHARD, ClusterTopology
+from repro.errors import ClusterError
+
+__all__ = ["RoutingTable", "build_routing_table", "validate_shardable"]
+
+
+def validate_shardable(
+    name: str, normal_form: NormalForm, topology: ClusterTopology
+) -> str:
+    """Reject views outside the shardable class; returns the name of
+    the view's single partitioned operand."""
+    partitioned = [
+        occurrence.name
+        for occurrence in normal_form.occurrences
+        if topology.is_partitioned(occurrence.name)
+    ]
+    if not partitioned:
+        raise ClusterError(
+            f"view {name!r} references no partitioned relation; every "
+            "shard would materialize the full view and the merged "
+            "bag-union would multiply counts — partition one operand, "
+            "or maintain this view on a single node"
+        )
+    if len(partitioned) > 1:
+        raise ClusterError(
+            f"view {name!r} references partitioned occurrences "
+            f"{sorted(partitioned)}; joins across partitioned operands "
+            "(or self-joins of one) would need cross-shard joins, which "
+            "this subsystem does not perform"
+        )
+    return partitioned[0]
+
+
+class RoutingTable:
+    """Immutable skip decisions: ``(shard, relation)`` pairs proven safe."""
+
+    __slots__ = ("topology", "skippable", "proofs_attempted")
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        skippable: frozenset[tuple[int, str]],
+        proofs_attempted: int,
+    ) -> None:
+        self.topology = topology
+        self.skippable = skippable
+        self.proofs_attempted = proofs_attempted
+
+    def should_skip(self, shard: int, relation: str) -> bool:
+        """True when ``relation``'s deltas never matter on ``shard``."""
+        return (shard, relation) in self.skippable
+
+    def describe(self) -> list[str]:
+        """Deterministic one-line-per-skip rendering (docs, CLI, tests)."""
+        return [
+            f"shard {shard} never receives deltas of {relation!r}"
+            for shard, relation in sorted(self.skippable)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"<RoutingTable {len(self.skippable)} skippable pairs, "
+            f"{self.proofs_attempted} proofs>"
+        )
+
+
+def build_routing_table(
+    topology: ClusterTopology,
+    views: Mapping[str, NormalForm],
+    constraints: Mapping[str, Condition],
+) -> RoutingTable:
+    """Derive the skip set by proving irrelevance per (shard, relation).
+
+    ``views`` maps view names to their normal forms (all of which must
+    already be shardable — see :func:`validate_shardable`);
+    ``constraints`` maps relation names to declared global constraints.
+    Only replicated relations on non-home shards are candidates; a pair
+    enters the table when every view referencing the relation is
+    shard-irrelevant under that shard's premises.
+    """
+    for name, normal_form in views.items():
+        validate_shardable(name, normal_form, topology)
+    replicated = sorted(
+        {
+            occurrence.name
+            for normal_form in views.values()
+            for occurrence in normal_form.occurrences
+            if not topology.is_partitioned(occurrence.name)
+        }
+    )
+    skippable: set[tuple[int, str]] = set()
+    proofs = 0
+    for shard in range(topology.shards):
+        if shard == HOME_SHARD:
+            continue
+        premises = topology.shard_premises(shard, constraints)
+        for relation in replicated:
+            referencing = [
+                normal_form
+                for normal_form in views.values()
+                if normal_form.occurrences_of(relation)
+            ]
+            proofs += len(referencing)
+            if all(
+                is_shard_irrelevant(normal_form, relation, premises)
+                for normal_form in referencing
+            ):
+                skippable.add((shard, relation))
+    return RoutingTable(topology, frozenset(skippable), proofs)

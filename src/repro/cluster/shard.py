@@ -1,0 +1,275 @@
+"""One shard worker: the unchanged single-node stack plus 2PC glue.
+
+A :class:`ShardNode` owns a plain :class:`~repro.engine.database.
+Database` + :class:`~repro.core.maintainer.ViewMaintainer` pair — the
+same stack a single-node deployment runs, compiled plans, relevance
+screens and all.  What makes it a shard is purely declarative: its base
+relations hold only the rows its key-ranges own (partitioned relations)
+or a full copy (replicated relations), and each partitioned relation's
+ownership range is *declared as a constraint*, so a misrouted row is
+rejected by the ordinary commit pipeline and the range doubles as a
+premise for the compiled plans' own static-irrelevance screens.
+
+The 2PC surface is a message handler (transport-agnostic — the
+coordinator drives it over :class:`~repro.cluster.links.DirectLink` or
+a simulated lossy channel):
+
+* ``prepare`` — validate the sub-transaction (structure, domains, and
+  declared constraints against the *raw* inserted rows, which is exact:
+  a raw insert that violates a constraint can never be netted away,
+  because the violating row cannot already be present) and stage it.
+  No state changes; a crash between prepare and commit loses only the
+  stage, which the coordinator's retransmitted, self-contained commit
+  message replaces.
+* ``commit`` — apply sub-commits strictly in ``shard_seq`` order (a
+  gap buffer holds early arrivals), pinning the coordinator's global
+  transaction id, and reply with the per-view deltas the maintainer
+  just applied — the shard's changefeed contribution.  Acks are cached
+  per ``shard_seq`` so retransmitted commits are answered
+  byte-identically instead of re-applied.
+* ``abort`` — drop the stage and tombstone the transaction id, so a
+  late retransmitted ``prepare`` can never resurrect an aborted
+  transaction.
+
+Every reply carries ``shard`` so the coordinator can attribute it
+without trusting transport metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.algebra.conditions import Condition
+from repro.algebra.expressions import Expression
+from repro.algebra.relation import Delta, Relation
+from repro.algebra.tuples import coerce_row
+from repro.cluster.topology import ClusterTopology
+from repro.core.maintainer import ViewMaintainer
+from repro.core.views import MaterializedView
+from repro.engine.constraints import find_violations
+from repro.engine.database import Database
+from repro.engine.persistence import delta_to_document
+from repro.errors import ClusterError, ReproError, UnknownViewError
+
+__all__ = ["ShardNode"]
+
+#: ``{"relation": [[value, ...], ...]}`` — raw (decoded) op batches.
+OpBatches = Mapping[str, Sequence[Sequence[Any]]]
+
+
+class ShardNode:
+    """One shard's state machine: local stack + ordered 2PC application."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        topology: ClusterTopology,
+        tables: Mapping[str, Sequence[str]],
+        rows: Mapping[str, Sequence[Sequence[Any]]],
+        constraints: Mapping[str, Condition],
+        views: Sequence[tuple[str, Expression]],
+    ) -> None:
+        self.shard_id = shard_id
+        self.topology = topology
+        self.database = Database()
+        for name in sorted(tables):
+            attributes = tables[name]
+            initial = [tuple(row) for row in rows.get(name, ())]
+            if topology.is_partitioned(name):
+                initial = [
+                    row
+                    for row in initial
+                    if topology.shard_of_row(name, attributes, row) == shard_id
+                ]
+            self.database.create_relation(name, list(attributes), initial)
+        # Declared constraints come first (they are premises the view
+        # plans' static screens may use), global before range: for a
+        # partitioned relation the shard declares K ∧ range as one
+        # conjoined condition.
+        for name in sorted(constraints):
+            condition = Condition.coerce(constraints[name])
+            spec = topology.spec(name)
+            if spec is not None:
+                condition = condition.conjoin(spec.range_condition(shard_id))
+            if not condition.is_true():
+                self.database.declare_constraint(name, condition)
+        for name, spec in sorted(topology.partitions.items()):
+            if name in constraints:
+                continue
+            window = spec.range_condition(shard_id)
+            if not window.is_true():
+                self.database.declare_constraint(name, window)
+        self.maintainer = ViewMaintainer(self.database)
+        self._captured: list[tuple[str, dict[str, Any]]] = []
+        self._applied_counts: dict[str, dict[str, int]] = {}
+        self.database.add_commit_hook(self._capture_relation_deltas)
+        for view_name, expression in views:
+            self.maintainer.define_view(view_name, expression)
+            self.maintainer.subscribe(view_name, self._capture_view_delta)
+        #: Highest contiguously applied ``shard_seq``.
+        self.applied_seq = 0
+        self._staged: dict[int, dict[str, Any]] = {}
+        self._gap: dict[int, dict[str, Any]] = {}
+        self._acks: dict[int, dict[str, Any]] = {}
+        self._tombstones: set[int] = set()
+        self._committed: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle(self, message: Mapping[str, Any]) -> list[dict[str, Any]]:
+        """Process one coordinator message; returns the replies to send."""
+        kind = message.get("kind")
+        if kind == "prepare":
+            return self._on_prepare(message)
+        if kind == "commit":
+            return self._on_commit(message)
+        if kind == "abort":
+            txn_id = int(message["txn"])
+            self._staged.pop(txn_id, None)
+            if txn_id not in self._committed:
+                self._tombstones.add(txn_id)
+            return [{"kind": "abort_ack", "txn": txn_id, "shard": self.shard_id}]
+        raise ClusterError(
+            f"shard {self.shard_id} received unknown message kind {kind!r}"
+        )
+
+    def _on_prepare(self, message: Mapping[str, Any]) -> list[dict[str, Any]]:
+        txn_id = int(message["txn"])
+        if txn_id in self._tombstones:
+            return [
+                {
+                    "kind": "nack",
+                    "txn": txn_id,
+                    "shard": self.shard_id,
+                    "error": "transaction was already aborted",
+                }
+            ]
+        if txn_id in self._committed:
+            # A retransmitted prepare arriving after the commit applied:
+            # the coordinator is past this phase; re-answering prepared
+            # is harmless and keeps the handler stateless about timing.
+            return [{"kind": "prepared", "txn": txn_id, "shard": self.shard_id}]
+        error = self._validate(
+            message.get("inserts") or {}, message.get("deletes") or {}
+        )
+        if error is not None:
+            self._tombstones.add(txn_id)
+            return [
+                {
+                    "kind": "nack",
+                    "txn": txn_id,
+                    "shard": self.shard_id,
+                    "error": error,
+                }
+            ]
+        self._staged[txn_id] = dict(message)
+        return [{"kind": "prepared", "txn": txn_id, "shard": self.shard_id}]
+
+    def _validate(self, inserts: OpBatches, deletes: OpBatches) -> str | None:
+        """Row-local validation exactly matching a single-node commit.
+
+        Structural errors (unknown relations, arity, domains) surface
+        through a throwaway transaction that is always aborted; the
+        constraint check runs over the raw inserted rows, which agrees
+        with commit-time net-effect checking in both directions: a
+        violating raw insert can never be netted away (the row cannot
+        be present, and a same-transaction delete of an absent row does
+        not cancel the insert), and netting never adds inserted rows.
+        """
+        probe = self.database.begin()
+        try:
+            for name, batch in sorted(deletes.items()):
+                probe.delete_many(name, (tuple(row) for row in batch))
+            for name, batch in sorted(inserts.items()):
+                probe.insert_many(name, (tuple(row) for row in batch))
+        except ReproError as exc:
+            return str(exc)
+        finally:
+            if probe.state.value == "active":
+                probe.abort()
+        for name in sorted(inserts):
+            condition = self.database.constraints.get(name)
+            batch = inserts[name]
+            if condition is None or not batch:
+                continue
+            schema = self.database.relation(name).schema
+            encoded = {coerce_row(schema, tuple(row)): 1 for row in batch}
+            violations = find_violations(name, condition, schema, encoded)
+            if violations:
+                preview = ", ".join(map(str, violations[:3]))
+                return (
+                    f"shard {self.shard_id} constraint {condition} on "
+                    f"{name!r} rejects: {preview}"
+                )
+        return None
+
+    def _on_commit(self, message: Mapping[str, Any]) -> list[dict[str, Any]]:
+        shard_seq = int(message["shard_seq"])
+        if shard_seq > self.applied_seq:
+            self._gap[shard_seq] = dict(message)
+        replies = []
+        while self.applied_seq + 1 in self._gap:
+            self._apply_commit(self._gap.pop(self.applied_seq + 1))
+        # Ack everything acked-or-applied that this message asks about,
+        # from the cache — retransmissions get byte-identical answers.
+        if shard_seq <= self.applied_seq:
+            replies.append(self._acks[shard_seq])
+        return replies
+
+    def _apply_commit(self, message: dict[str, Any]) -> None:
+        txn_id = int(message["txn"])
+        shard_seq = int(message["shard_seq"])
+        self._staged.pop(txn_id, None)
+        self._captured.clear()
+        self._applied_counts = {}
+        txn = self.database.begin(txn_id=txn_id)
+        for name, batch in sorted((message.get("deletes") or {}).items()):
+            txn.delete_many(name, (tuple(row) for row in batch))
+        for name, batch in sorted((message.get("inserts") or {}).items()):
+            txn.insert_many(name, (tuple(row) for row in batch))
+        txn.commit()
+        views = {name: doc for name, doc in self._captured}
+        self._captured.clear()
+        self.applied_seq = shard_seq
+        self._committed[txn_id] = shard_seq
+        self._acks[shard_seq] = {
+            "kind": "committed",
+            "txn": txn_id,
+            "shard": self.shard_id,
+            "shard_seq": shard_seq,
+            "views": views,
+            "applied": self._applied_counts,
+        }
+        self._applied_counts = {}
+
+    def _capture_view_delta(self, view: MaterializedView, delta: Delta) -> None:
+        self._captured.append((view.definition.name, delta_to_document(delta)))
+
+    def _capture_relation_deltas(
+        self, txn_id: int, deltas: Mapping[str, Delta]
+    ) -> None:
+        self._applied_counts = {
+            name: {
+                "inserted": delta.insert_count(),
+                "deleted": delta.delete_count(),
+            }
+            for name, delta in sorted(deltas.items())
+            if not delta.is_empty()
+        }
+
+    # ------------------------------------------------------------------
+    # Local reads (scatter-gather query path; no messages involved)
+    # ------------------------------------------------------------------
+    def snapshot_counts(self, target: str) -> tuple[Relation, str]:
+        """``(contents, kind)`` for a view or base relation by name."""
+        try:
+            return self.maintainer.view(target).contents, "view"
+        except UnknownViewError:
+            return self.database.relation(target), "relation"
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardNode {self.shard_id} applied_seq={self.applied_seq} "
+            f"{len(self._staged)} staged, {len(self._gap)} buffered>"
+        )

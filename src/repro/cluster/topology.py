@@ -1,0 +1,193 @@
+"""Cluster topology: key-range partitions as declarable constraints.
+
+The paper's condition class (Section 4, after Rosenkrantz and Hunt)
+has no modulo operator, so "hash partitioning" in this subsystem is
+realized as deterministic *key-range* partitioning: each partitioned
+relation names one integer key attribute and ``shards - 1`` strictly
+increasing boundaries, and shard ``i`` owns the rows whose key falls in
+its range.  The payoff of staying inside the paper's class is the whole
+point of the design: a shard's ownership range **is** a condition, so
+it can be declared on the shard's local database (misrouted rows are
+rejected by the ordinary constraint pipeline) and fed to the
+Theorem 4.1 routing oracle as a premise
+(:mod:`repro.analysis.routing`), turning partition metadata into
+machine-checked irrelevance proofs.
+
+Relations without a :class:`PartitionSpec` are *replicated*: every
+shard holds a full copy (modulo deltas the routing oracle proves it
+never needs), and shard ``HOME_SHARD`` keeps the authoritative,
+delta-complete copy that answers base-relation queries.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Mapping, Sequence
+
+from repro.algebra.conditions import Atom, Condition, Const, Var
+from repro.errors import ClusterError
+
+__all__ = ["HOME_SHARD", "ClusterTopology", "PartitionSpec", "even_boundaries"]
+
+#: The shard holding the authoritative copy of every replicated
+#: relation.  It is never skipped by the routing oracle, so replicated
+#: base-relation queries are answered here, delta-complete.
+HOME_SHARD = 0
+
+
+def even_boundaries(shards: int, lo: int, hi: int) -> tuple[int, ...]:
+    """Evenly spaced boundaries splitting ``[lo, hi]`` into ``shards``
+    non-empty ranges (a convenience for tests and examples)."""
+    if shards < 1:
+        raise ClusterError(f"a cluster needs at least one shard, got {shards}")
+    width = hi - lo + 1
+    if shards > width:
+        raise ClusterError(
+            f"cannot split the {width}-value range [{lo}, {hi}] "
+            f"into {shards} non-empty shard ranges"
+        )
+    return tuple(lo + ((i + 1) * width) // shards - 1 for i in range(shards - 1))
+
+
+class PartitionSpec:
+    """How one relation is split across shards: a key and boundaries.
+
+    Shard 0 owns ``key <= boundaries[0]``; shard ``i`` (middle) owns
+    ``boundaries[i-1] + 1 <= key <= boundaries[i]``; the last shard
+    owns ``key >= boundaries[-1] + 1``.  With no boundaries (a
+    single-shard cluster) shard 0 owns everything.
+    """
+
+    __slots__ = ("relation", "key", "boundaries")
+
+    def __init__(
+        self, relation: str, key: str, boundaries: Sequence[int]
+    ) -> None:
+        self.relation = relation
+        self.key = key
+        self.boundaries = tuple(int(b) for b in boundaries)
+        for earlier, later in zip(self.boundaries, self.boundaries[1:]):
+            if later <= earlier:
+                raise ClusterError(
+                    f"partition boundaries for {relation!r} must be "
+                    f"strictly increasing, got {list(self.boundaries)}"
+                )
+
+    @property
+    def shards(self) -> int:
+        """How many shards this spec splits the relation across."""
+        return len(self.boundaries) + 1
+
+    def shard_of(self, key_value: int) -> int:
+        """The shard owning rows whose key equals ``key_value``."""
+        return bisect_left(self.boundaries, key_value)
+
+    def range_condition(self, shard: int) -> Condition:
+        """Shard ``shard``'s ownership range as a paper-class condition
+        over this relation's own attribute names."""
+        if not 0 <= shard < self.shards:
+            raise ClusterError(
+                f"shard {shard} out of range for the {self.shards}-shard "
+                f"partition of {self.relation!r}"
+            )
+        if not self.boundaries:
+            return Condition.true()
+        key = Var(self.key)
+        atoms = []
+        if shard > 0:
+            atoms.append(Atom(key, ">=", Const(self.boundaries[shard - 1] + 1)))
+        if shard < len(self.boundaries):
+            atoms.append(Atom(key, "<=", Const(self.boundaries[shard])))
+        return Condition.of_atoms(atoms)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PartitionSpec {self.relation}.{self.key} "
+            f"boundaries={list(self.boundaries)}>"
+        )
+
+
+class ClusterTopology:
+    """The cluster's static shape: shard count plus partition specs.
+
+    Everything downstream — delta splitting, range-constraint
+    declaration, the routing table — derives from this object, so two
+    nodes constructed from equal topologies agree on where every row
+    lives without any runtime coordination.
+    """
+
+    __slots__ = ("shards", "partitions")
+
+    def __init__(
+        self, shards: int, partitions: Iterable[PartitionSpec] = ()
+    ) -> None:
+        if shards < 1:
+            raise ClusterError(f"a cluster needs at least one shard, got {shards}")
+        self.shards = shards
+        self.partitions: dict[str, PartitionSpec] = {}
+        for spec in partitions:
+            if spec.relation in self.partitions:
+                raise ClusterError(
+                    f"relation {spec.relation!r} has two partition specs"
+                )
+            if spec.shards != shards:
+                raise ClusterError(
+                    f"partition of {spec.relation!r} spans {spec.shards} "
+                    f"shards but the cluster has {shards}"
+                )
+            self.partitions[spec.relation] = spec
+
+    def is_partitioned(self, relation: str) -> bool:
+        """True when ``relation`` is split (not replicated)."""
+        return relation in self.partitions
+
+    def spec(self, relation: str) -> PartitionSpec | None:
+        """The partition spec for ``relation`` (None when replicated)."""
+        return self.partitions.get(relation)
+
+    def shard_of_row(
+        self, relation: str, attribute_names: Sequence[str], row: Sequence[object]
+    ) -> int:
+        """The owner shard for one row of a partitioned relation."""
+        spec = self.partitions[relation]
+        try:
+            position = list(attribute_names).index(spec.key)
+        except ValueError:
+            raise ClusterError(
+                f"partition key {spec.key!r} is not an attribute of "
+                f"{relation!r} {list(attribute_names)}"
+            ) from None
+        value = row[position]
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ClusterError(
+                f"partition key {relation}.{spec.key} must be an integer, "
+                f"got {value!r}"
+            )
+        return spec.shard_of(value)
+
+    def shard_premises(
+        self, shard: int, constraints: Mapping[str, "Condition | str"]
+    ) -> dict[str, Condition]:
+        """Per-relation premises holding on shard ``shard``'s instance.
+
+        For every relation: the declared global constraint (if any),
+        conjoined for partitioned relations with the shard's ownership
+        range — exactly the premise set
+        :func:`repro.analysis.routing.is_shard_irrelevant` expects.
+        """
+        premises: dict[str, Condition] = {
+            name: Condition.coerce(cond) for name, cond in constraints.items()
+        }
+        for name, spec in self.partitions.items():
+            window = spec.range_condition(shard)
+            declared = premises.get(name)
+            premises[name] = (
+                window if declared is None else declared.conjoin(window)
+            )
+        return premises
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}.{spec.key}" for name, spec in sorted(self.partitions.items())
+        )
+        return f"<ClusterTopology shards={self.shards} partitioned=[{parts}]>"

@@ -119,6 +119,19 @@ class StrictAnalysisError(MaintenanceError):
         )
 
 
+class ClusterError(ReproError):
+    """The sharded-cluster subsystem was misconfigured or failed.
+
+    Covers invalid topologies (non-increasing partition boundaries,
+    boundary counts that do not match the shard count), view
+    definitions outside the shardable class (a view must reference
+    exactly one occurrence of exactly one partitioned relation, so the
+    merged cluster view is a disjoint bag-union of per-shard views),
+    and coordinator-side transaction failures (a shard vetoed the
+    prepare phase, or stayed unreachable past the 2PC timeout).
+    """
+
+
 class ReplicationError(ReproError):
     """The durability / replication subsystem failed.
 

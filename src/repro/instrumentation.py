@@ -35,6 +35,14 @@ one call site):
   changefeed catch-up;
 * serving (``server_*``) — request, session and changefeed counters
   charged by :mod:`repro.server` (see ``docs/server.md``);
+* cluster (``cluster_*``) — sharded-coordinator counters charged by
+  :mod:`repro.cluster` (see ``docs/cluster.md``):
+  ``cluster_txns_committed`` / ``cluster_txns_aborted``,
+  ``cluster_deltas_sent`` / ``cluster_deltas_skipped`` (per-shard
+  relation deltas shipped vs. proven irrelevant by the Theorem 4.1
+  routing oracle and never sent), ``cluster_routing_proofs``
+  (satisfiability proofs attempted while deriving the routing table),
+  ``cluster_retransmissions`` and ``cluster_shard_rebuilds``;
 * analysis (``analysis_*`` and static proofs) — ``analysis_runs``,
   ``analysis_definitions_checked`` and ``analysis_view_pairs_compared``
   charged by :mod:`repro.analysis`, plus

@@ -72,6 +72,10 @@ E_SHUTTING_DOWN = "shutting_down"
 E_TIMEOUT = "timeout"
 #: The session's outbox overflowed (slow-subscriber policy).
 E_SLOW_CONSUMER = "slow_consumer"
+#: A cluster transaction aborted because a shard stayed unreachable
+#: past the coordinator's two-phase-commit timeout (retry is safe: the
+#: abort is durable before the error is reported).
+E_SHARD_UNAVAILABLE = "shard_unavailable"
 #: The request raised an error the server did not classify.
 E_INTERNAL = "internal"
 

@@ -25,6 +25,7 @@ import random
 
 import pytest
 
+from benchmarks.conftest import env_flag, smoke_env
 from repro.core.maintainer import MaintenancePolicy, ViewMaintainer
 from repro.engine.database import Database
 from repro.cli import run_simulate
@@ -52,8 +53,8 @@ from repro.simulation.workload import (
     random_spj_expression,
 )
 
-SMOKE = bool(os.environ.get("REPRO_SIM_SMOKE"))
-FULL = bool(os.environ.get("REPRO_SIM_FULL"))
+SMOKE = smoke_env("SIM")
+FULL = env_flag("REPRO_SIM_FULL")
 
 
 # ----------------------------------------------------------------------
