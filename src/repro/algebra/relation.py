@@ -115,6 +115,17 @@ class Relation:
         else:
             self._counts[values] = present - count
 
+    def clear(self) -> int:
+        """Drop every tuple; returns how many distinct tuples were held.
+
+        Base-free hosts (followers and shard nodes carrying only
+        self-maintainable views) call this to shed their base-relation
+        copies after bootstrap — the schema stays, the rows go.
+        """
+        dropped = len(self._counts)
+        self._counts.clear()
+        return dropped
+
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------

@@ -30,6 +30,7 @@ from repro.analysis.findings import (
     F_DUPLICATE_VIEW,
     F_LOOSE_BOUND,
     F_REDUNDANT_ATOM,
+    F_SELF_MAINTAINABLE,
     F_STATIC_IRRELEVANCE,
     F_SUBSUMED_VIEW,
     F_UNBOUND_OLD_OPERAND,
@@ -50,6 +51,7 @@ __all__ = [
     "F_DUPLICATE_VIEW",
     "F_LOOSE_BOUND",
     "F_REDUNDANT_ATOM",
+    "F_SELF_MAINTAINABLE",
     "F_STATIC_IRRELEVANCE",
     "F_SUBSUMED_VIEW",
     "F_UNBOUND_OLD_OPERAND",

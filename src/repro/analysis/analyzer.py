@@ -1,4 +1,4 @@
-"""The static view analyzer: six checks over definitions and plans.
+"""The static view analyzer: seven checks over definitions and plans.
 
 Everything here reuses the Section 4 decision machinery — the
 Rosenkrantz–Hunt constraint graph, satisfiability, and the implication
@@ -29,6 +29,10 @@ registration time* instead of against tuples at update time:
     links (every maintenance step scans them in full, no index can
     help) and truth-table delta rows that can never fire because they
     require a delta from a statically irrelevant relation.
+(g) **Self-maintainability** (INFO) — the view is maintainable from
+    its own counted contents plus the delta, with no base-relation
+    access (:mod:`repro.scheduler.selfmaint`), so a ``base_free=True``
+    follower or shard could host it without base copies.
 
 All checks are *decision procedures*, not heuristics: each finding is
 a theorem about the definition, which is why the report is
@@ -47,6 +51,7 @@ from repro.analysis.findings import (
     F_DUPLICATE_VIEW,
     F_LOOSE_BOUND,
     F_REDUNDANT_ATOM,
+    F_SELF_MAINTAINABLE,
     F_STATIC_IRRELEVANCE,
     F_SUBSUMED_VIEW,
     F_UNBOUND_OLD_OPERAND,
@@ -161,6 +166,21 @@ def analyze_definition(
     # (f) compiled-plan lint.
     if plan is not None:
         findings.extend(_plan_lint_findings(name, nf, plan))
+
+    # (g) self-maintainability classification.
+    from repro.scheduler.selfmaint import classify_self_maintainability
+
+    verdict = classify_self_maintainability(definition, constraints)
+    if verdict.self_maintainable:
+        findings.append(
+            Finding(
+                F_SELF_MAINTAINABLE,
+                name,
+                verdict.kind,
+                f"{verdict.reason}; a base_free=True follower or shard "
+                "can host this view without base-relation copies",
+            )
+        )
 
     unique = tuple(dict.fromkeys(findings))
     return tuple(sorted(unique, key=Finding.sort_key))

@@ -71,6 +71,11 @@ F_UNBOUND_OLD_OPERAND = "unbound_old_operand"
 #: Check (f): truth-table delta rows that can never fire because they
 #: require a delta from a statically irrelevant relation.
 F_DEAD_TRUTH_ROWS = "dead_truth_table_rows"
+#: Check (g): the view is self-maintainable — maintainable from its own
+#: counted contents plus the delta, with no base-relation access — so a
+#: base-free host (follower or shard) could carry it without base
+#: copies (see :mod:`repro.scheduler.selfmaint`).
+F_SELF_MAINTAINABLE = "self_maintainable_view"
 
 #: Every valid code, mapped to its fixed severity.  Adding a code here
 #: is an API change; the vocabulary is otherwise closed.
@@ -84,6 +89,7 @@ CODE_SEVERITIES: Mapping[str, Severity] = {
     F_SUBSUMED_VIEW: Severity.INFO,
     F_UNBOUND_OLD_OPERAND: Severity.WARN,
     F_DEAD_TRUTH_ROWS: Severity.INFO,
+    F_SELF_MAINTAINABLE: Severity.INFO,
 }
 
 

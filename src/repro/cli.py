@@ -46,6 +46,16 @@ Invocations::
         state, followers and client changefeed mirrors.  The same seed
         always replays the identical run; a divergence prints the
         failing episode's seed and a minimized event trace, and exits 1.
+        --base-free-followers adds replicas that shed their base
+        copies (self-maintainable views only); --sharded --base-free
+        runs every non-home shard base-free (docs/scheduler.md).
+    python -m repro.cli monitor [--seed N] [--commits N]
+                                [--json PATH] [--html PATH]
+        Drive a seeded synthetic workload under staleness SLAs and
+        render the windowed staleness report (docs/scheduler.md):
+        deterministic JSON to stdout or --json PATH, and optionally a
+        standalone HTML page to --html PATH.  The same seed produces
+        byte-identical reports.
     python -m repro.cli analyze FILE [FILE ...] [--json]
         Run the static view analyzer (docs/analysis.md) over spec
         files of shell commands (one command per line; blank lines and
@@ -65,8 +75,10 @@ Shell commands::
                                [select <attr>, <attr>, ...]
     create view <name> deferred as ...
     refresh <view>
+    refresh --all | quiesce     -- apply every deferred view's backlog
     show <name>                 -- relation or view contents
-    stats <view>                -- maintenance counters
+    stats <view>                -- maintenance counters, backlog depth,
+                                   and the self-maintainability verdict
     explain <view> changing <rel>[, <rel>]*
                                 -- the compiled maintenance plan: the
                                    invariant/variant screening split,
@@ -159,6 +171,8 @@ class Shell:
             return self._create_view(
                 match.group(1), bool(match.group(2)), match.group(3)
             )
+        if lowered == "quiesce" or lowered in ("refresh --all", "refresh -a"):
+            return self._quiesce()
         if lowered.startswith("refresh "):
             name = line.split(None, 1)[1].strip()
             did = self.maintainer.refresh(name)
@@ -168,7 +182,17 @@ class Shell:
         if lowered.startswith("stats "):
             name = line.split(None, 1)[1].strip()
             stats = self.maintainer.stats(name)
-            return "\n".join(f"{k}: {v}" for k, v in stats.as_dict().items())
+            lines = [f"{k}: {v}" for k, v in stats.as_dict().items()]
+            lines.extend(
+                f"backlog_{k}: {v}"
+                for k, v in self.maintainer.backlog(name).items()
+            )
+            verdict = self.maintainer.self_maintainability(name)
+            lines.append(
+                f"self_maintainable: {str(verdict.self_maintainable).lower()}"
+                f" ({verdict.kind})"
+            )
+            return "\n".join(lines)
         if lowered.startswith("recommend indexes "):
             name = line.split(None, 2)[2].strip()
             recommendations = self.maintainer.recommended_indexes(name)
@@ -272,6 +296,12 @@ class Shell:
 
     def _parse_view_body(self, body: str) -> Expression:
         return parse_view_expression(body)
+
+    def _quiesce(self) -> str:
+        refreshed = self.maintainer.quiesce()
+        if not refreshed:
+            return "all views current"
+        return "refreshed " + ", ".join(refreshed)
 
     def _show(self, name: str) -> str:
         if name in self.maintainer.view_names():
@@ -626,6 +656,7 @@ def run_simulate(
     episodes: int = 10,
     events: int = 40,
     followers: int = 1,
+    base_free_followers: int = 1,
     clients: int = 2,
     crashes: bool = True,
     partitions: bool = True,
@@ -647,6 +678,7 @@ def run_simulate(
         episodes=episodes,
         events=events,
         followers=followers,
+        base_free_followers=base_free_followers,
         clients=clients,
         crashes=crashes,
         partitions=partitions,
@@ -671,6 +703,7 @@ def run_simulate_cluster(
     crashes: bool = True,
     partitions: bool = True,
     routed: bool = True,
+    base_free: bool = False,
     emit=print,
 ) -> int:
     """The ``simulate --sharded`` verb; returns the process exit code.
@@ -690,10 +723,98 @@ def run_simulate_cluster(
         crashes=crashes,
         partitions=partitions,
         routed=routed,
+        base_free=base_free,
     )
     report = run_cluster_simulation(config)
     emit(report.format())
     return 0 if report.ok else 1
+
+
+def run_monitor(
+    seed: int = 0,
+    commits: int = 150,
+    json_path: str | None = None,
+    html_path: str | None = None,
+    emit=print,
+) -> int:
+    """The ``monitor`` verb; returns the process exit code.
+
+    Drives a seeded synthetic workload — one immediate view and two
+    deferred views under staleness SLAs, with the refresh scheduler
+    ticking every third commit so backlogs genuinely accumulate — then
+    renders the windowed staleness report (docs/scheduler.md).  Output
+    is a pure function of the arguments: the same seed yields
+    byte-identical JSON and HTML, which is what lets CI archive the
+    HTML artifact and diff it between runs.
+    """
+    import random
+
+    from repro.scheduler import (
+        Monitor,
+        RefreshScheduler,
+        StalenessSLA,
+        TickClock,
+    )
+
+    rng = random.Random(f"monitor:{seed}")
+    database = Database()
+    database.create_relation(
+        "r", ("A", "B"), [(a, (a * 3) % 7) for a in range(7)]
+    )
+    database.create_relation(
+        "s", ("C", "D"), [(c, (c + 2) % 7) for c in range(7)]
+    )
+    maintainer = ViewMaintainer(database)
+    maintainer.define_view("hot", BaseRef("r").select("A <= 3"))
+    maintainer.define_view(
+        "joined",
+        BaseRef("r").join(BaseRef("s")).select("A = C"),
+        policy=MaintenancePolicy.DEFERRED,
+    )
+    maintainer.define_view(
+        "digest",
+        BaseRef("s").select("D >= 2").project(["C"]),
+        policy=MaintenancePolicy.DEFERRED,
+    )
+    clock = TickClock()
+    scheduler = RefreshScheduler(maintainer, clock=clock, batch_limit=1)
+    scheduler.declare_sla("joined", StalenessSLA(max_pending_commits=5))
+    scheduler.declare_sla(
+        "digest", StalenessSLA(max_pending_commits=9, max_lag_ticks=12)
+    )
+    monitor = Monitor(maintainer, scheduler)
+    monitor.begin(clock.now)
+    # Rows deleted are always rows previously inserted (tracked in
+    # ``live``), so every seeded transaction is legal.
+    live: dict[str, list[tuple[int, int]]] = {
+        "r": [(a, (a * 3) % 7) for a in range(7)],
+        "s": [(c, (c + 2) % 7) for c in range(7)],
+    }
+    for _ in range(commits):
+        name = rng.choice(("r", "r", "s"))
+        with database.transact() as txn:
+            if live[name] and rng.random() < 0.35:
+                victim = live[name].pop(rng.randrange(len(live[name])))
+                txn.delete(name, victim)
+            row = (rng.randrange(7), rng.randrange(7))
+            txn.insert(name, row)
+            live[name].append(row)
+        clock.advance(1)
+        scheduler.note_commit()
+        if clock.now % 3 == 0:
+            scheduler.tick()
+    report = monitor.report(clock.now)
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(report.as_json() + "\n")
+        emit(f"wrote JSON report to {json_path}")
+    if html_path:
+        with open(html_path, "w", encoding="utf-8") as handle:
+            handle.write(report.as_html() + "\n")
+        emit(f"wrote HTML report to {html_path}")
+    if not json_path and not html_path:
+        emit(report.as_json())
+    return 0
 
 
 def repl(shell: Shell | None = None) -> int:  # pragma: no cover - interactive
@@ -825,6 +946,13 @@ def main(argv: list[str] | None = None) -> int:
         "--followers", type=int, default=1, help="replica count (default 1)"
     )
     simulate_parser.add_argument(
+        "--base-free-followers", type=int, default=1,
+        help=(
+            "extra replicas hosting self-maintainable views without "
+            "base-relation copies (default 1; docs/scheduler.md)"
+        ),
+    )
+    simulate_parser.add_argument(
         "--clients", type=int, default=2, help="changefeed clients (default 2)"
     )
     simulate_parser.add_argument(
@@ -856,6 +984,32 @@ def main(argv: list[str] | None = None) -> int:
         "--broadcast", action="store_true",
         help="with --sharded: disable analyzer-driven delta skipping",
     )
+    simulate_parser.add_argument(
+        "--base-free", action="store_true",
+        help=(
+            "with --sharded: non-home shards drop their base-relation "
+            "copies and maintain views from shipped deltas alone"
+        ),
+    )
+    monitor_parser = commands.add_parser(
+        "monitor",
+        help="render a staleness report over a seeded synthetic workload",
+    )
+    monitor_parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    monitor_parser.add_argument(
+        "--commits", type=int, default=150,
+        help="transactions to drive through the window (default 150)",
+    )
+    monitor_parser.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="write the JSON report to PATH instead of stdout",
+    )
+    monitor_parser.add_argument(
+        "--html", dest="html_path", metavar="PATH",
+        help="also write the standalone HTML report to PATH",
+    )
     analyze_parser = commands.add_parser(
         "analyze",
         help="statically analyze view definitions from spec files",
@@ -885,6 +1039,7 @@ def main(argv: list[str] | None = None) -> int:
                 crashes=not options.no_crashes,
                 partitions=not options.no_partitions,
                 routed=not options.broadcast,
+                base_free=options.base_free,
             )
         if options.command == "simulate":
             return run_simulate(
@@ -892,12 +1047,20 @@ def main(argv: list[str] | None = None) -> int:
                 episodes=options.episodes,
                 events=options.events,
                 followers=options.followers,
+                base_free_followers=options.base_free_followers,
                 clients=options.clients,
                 crashes=not options.no_crashes,
                 partitions=not options.no_partitions,
                 ddl=not options.no_ddl,
                 corruption=options.corruption,
                 trace=options.trace,
+            )
+        if options.command == "monitor":
+            return run_monitor(
+                seed=options.seed,
+                commits=options.commits,
+                json_path=options.json_path,
+                html_path=options.html_path,
             )
         if options.command == "analyze":
             return run_analyze(options.files, as_json=options.json)

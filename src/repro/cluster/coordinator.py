@@ -586,6 +586,7 @@ def build_cluster(
     routed: bool = True,
     link_factory: Callable[[ShardNode, int], Link] | None = None,
     changefeed_history: int = 256,
+    base_free_shards: Sequence[int] = (),
 ) -> ClusterCoordinator:
     """Stand up a full cluster: shards, links, coordinator.
 
@@ -598,6 +599,14 @@ def build_cluster(
     ``shard_factory`` closing over the initial rows, so
     :meth:`ClusterCoordinator.crash_shard` can rebuild any shard from
     genesis plus its commit history.
+
+    ``base_free_shards`` lists shard ids built with ``base_free=True``
+    (see :class:`ShardNode`): those nodes shed their base rows after
+    registration and require every hosted view to be self-maintainable;
+    crash rebuilds preserve the flag.  Delete-existence validation
+    weakens to the remaining full hosts — keep at least the owning
+    shard of every partitioned range full unless the workload's
+    deletes are validated upstream.
     """
     frozen_tables = {name: tuple(attrs) for name, attrs in tables.items()}
     frozen_rows = {
@@ -608,9 +617,17 @@ def build_cluster(
     }
     view_list = [(name, expression) for name, expression in views]
 
+    base_free = frozenset(base_free_shards)
+
     def make_shard(shard_id: int) -> ShardNode:
         return ShardNode(
-            shard_id, topology, frozen_tables, frozen_rows, coerced, view_list
+            shard_id,
+            topology,
+            frozen_tables,
+            frozen_rows,
+            coerced,
+            view_list,
+            base_free=shard_id in base_free,
         )
 
     links: list[Link] = []

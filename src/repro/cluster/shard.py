@@ -33,6 +33,21 @@ a simulated lossy channel):
 
 Every reply carries ``shard`` so the coordinator can attribute it
 without trusting transport metadata.
+
+Base-free hosting
+-----------------
+With ``base_free=True`` the node keeps schemas and declared constraints
+but sheds its base-relation rows right after registration: every hosted
+view must be **self-maintainable** (:mod:`repro.scheduler.selfmaint`),
+and commits are applied by *raw-netting* the sub-transaction's op
+batches into per-relation deltas fed straight to the maintainer — for
+any valid transaction, pairwise insert/delete netting equals the commit
+pipeline's net effect, so view contents and acks stay byte-identical to
+a full shard's.  What a base-free node cannot do is check delete
+existence (it has no rows to check against); prepare still validates
+structure, domains and constraints on raw inserts, and existence stays
+with the shards holding full copies — the coordinator aborts on any
+nack, so one full replica in the prepare quorum preserves exactness.
 """
 
 from __future__ import annotations
@@ -50,6 +65,7 @@ from repro.engine.constraints import find_violations
 from repro.engine.database import Database
 from repro.engine.persistence import delta_to_document
 from repro.errors import ClusterError, ReproError, UnknownViewError
+from repro.instrumentation import charge
 
 __all__ = ["ShardNode"]
 
@@ -68,9 +84,14 @@ class ShardNode:
         rows: Mapping[str, Sequence[Sequence[Any]]],
         constraints: Mapping[str, Condition],
         views: Sequence[tuple[str, Expression]],
+        base_free: bool = False,
     ) -> None:
         self.shard_id = shard_id
         self.topology = topology
+        self.base_free = base_free
+        #: Distinct base tuples shed by base-free hosting (the
+        #: benchmark's memory-saving measure; 0 on full shards).
+        self.base_rows_dropped = 0
         self.database = Database()
         for name in sorted(tables):
             attributes = tables[name]
@@ -106,6 +127,8 @@ class ShardNode:
         for view_name, expression in views:
             self.maintainer.define_view(view_name, expression)
             self.maintainer.subscribe(view_name, self._capture_view_delta)
+        if base_free:
+            self._shed_base_copies()
         #: Highest contiguously applied ``shard_seq``.
         self.applied_seq = 0
         self._staged: dict[int, dict[str, Any]] = {}
@@ -176,11 +199,21 @@ class ShardNode:
         violating raw insert can never be netted away (the row cannot
         be present, and a same-transaction delete of an absent row does
         not cancel the insert), and netting never adds inserted rows.
+
+        A base-free node holds no rows, so its probe skips the
+        delete-existence check (deletes are validated structurally
+        only); existence stays with the full replicas in the quorum.
         """
         probe = self.database.begin()
         try:
-            for name, batch in sorted(deletes.items()):
-                probe.delete_many(name, (tuple(row) for row in batch))
+            if self.base_free:
+                for name, batch in sorted(deletes.items()):
+                    schema = self.database.relation(name).schema
+                    for row in batch:
+                        coerce_row(schema, tuple(row))
+            else:
+                for name, batch in sorted(deletes.items()):
+                    probe.delete_many(name, (tuple(row) for row in batch))
             for name, batch in sorted(inserts.items()):
                 probe.insert_many(name, (tuple(row) for row in batch))
         except ReproError as exc:
@@ -223,12 +256,18 @@ class ShardNode:
         self._staged.pop(txn_id, None)
         self._captured.clear()
         self._applied_counts = {}
-        txn = self.database.begin(txn_id=txn_id)
-        for name, batch in sorted((message.get("deletes") or {}).items()):
-            txn.delete_many(name, (tuple(row) for row in batch))
-        for name, batch in sorted((message.get("inserts") or {}).items()):
-            txn.insert_many(name, (tuple(row) for row in batch))
-        txn.commit()
+        if self.base_free:
+            deltas = self._raw_netted_deltas(message)
+            if deltas:
+                self.maintainer.apply_deltas(txn_id, deltas)
+            self._capture_relation_deltas(txn_id, deltas)
+        else:
+            txn = self.database.begin(txn_id=txn_id)
+            for name, batch in sorted((message.get("deletes") or {}).items()):
+                txn.delete_many(name, (tuple(row) for row in batch))
+            for name, batch in sorted((message.get("inserts") or {}).items()):
+                txn.insert_many(name, (tuple(row) for row in batch))
+            txn.commit()
         views = {name: doc for name, doc in self._captured}
         self._captured.clear()
         self.applied_seq = shard_seq
@@ -242,6 +281,67 @@ class ShardNode:
             "applied": self._applied_counts,
         }
         self._applied_counts = {}
+
+    # ------------------------------------------------------------------
+    # Base-free hosting
+    # ------------------------------------------------------------------
+    def _shed_base_copies(self) -> None:
+        """Validate self-maintainability, then drop every base row.
+
+        Runs once at registration: the hosted views have just been
+        materialized against the bootstrap rows, so all that remains is
+        proving no future maintenance step will read base state.  The
+        per-shard range constraints are already declared, so a view
+        whose condition contradicts this shard's ownership window
+        classifies ``constraint_empty_join`` and is hosted as provably
+        empty.
+        """
+        offenders = [
+            name
+            for name in self.maintainer.view_names()
+            if not self.maintainer.is_self_maintainable(name)
+        ]
+        if offenders:
+            reasons = "; ".join(
+                f"{name}: {self.maintainer.self_maintainability(name).reason}"
+                for name in offenders
+            )
+            raise ClusterError(
+                f"base-free shard {self.shard_id} cannot host "
+                f"non-self-maintainable view(s) {offenders}: {reasons}"
+            )
+        dropped = 0
+        for name in sorted(self.database.relation_names()):
+            dropped += self.database.relation(name).clear()
+        self.base_rows_dropped = dropped
+        charge("base_free_rows_dropped", dropped)
+
+    def _raw_netted_deltas(self, message: Mapping[str, Any]) -> dict[str, Delta]:
+        """Net a sub-transaction's raw op batches into per-relation deltas.
+
+        Pairwise insert/delete netting equals the commit pipeline's
+        net-effect for any valid transaction: a delete cancels exactly
+        one insert of the same tuple (or one stored copy — which the
+        pipeline also nets to a count move), and what remains is the
+        ``(i_r, d_r)`` pair a full shard's commit would produce.
+        """
+        inserts = message.get("inserts") or {}
+        deletes = message.get("deletes") or {}
+        deltas: dict[str, Delta] = {}
+        for name in sorted(set(inserts) | set(deletes)):
+            schema = self.database.relation(name).schema
+            net: dict[tuple, int] = {}
+            for row in deletes.get(name, ()):
+                values = coerce_row(schema, tuple(row))
+                net[values] = net.get(values, 0) - 1
+            for row in inserts.get(name, ()):
+                values = coerce_row(schema, tuple(row))
+                net[values] = net.get(values, 0) + 1
+            inserted = {values: count for values, count in net.items() if count > 0}
+            deleted = {values: -count for values, count in net.items() if count < 0}
+            if inserted or deleted:
+                deltas[name] = Delta.from_counts(schema, inserted, deleted)
+        return deltas
 
     def _capture_view_delta(self, view: MaterializedView, delta: Delta) -> None:
         self._captured.append((view.definition.name, delta_to_document(delta)))

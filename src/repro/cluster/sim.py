@@ -88,6 +88,7 @@ class ClusterSimConfig:
         "crashes",
         "partitions",
         "routed",
+        "base_free",
         "drop_rate",
         "duplicate_rate",
         "reorder_rate",
@@ -103,6 +104,7 @@ class ClusterSimConfig:
         crashes: bool = True,
         partitions: bool = True,
         routed: bool = True,
+        base_free: bool = False,
         drop_rate: float = 0.05,
         duplicate_rate: float = 0.05,
         reorder_rate: float = 0.2,
@@ -115,6 +117,13 @@ class ClusterSimConfig:
         self.crashes = crashes
         self.partitions = partitions
         self.routed = routed
+        #: Every non-home shard hosts base-free (no base-relation
+        #: copies).  Implies the self-maintainable view subset (``v_rt``
+        #: is dropped) and a workload whose partitioned-relation deletes
+        #: stay in the home shard's range — a base-free owner cannot
+        #: existence-check a delete, so only rows a full replica
+        #: validates may be deleted (the documented trust boundary).
+        self.base_free = base_free
         self.drop_rate = drop_rate
         self.duplicate_rate = duplicate_rate
         self.reorder_rate = reorder_rate
@@ -171,6 +180,8 @@ def generate_cluster_schedule(
         kinds += ["crash"] * 7
     if config.partitions:
         kinds += ["partition"] * 8
+    boundaries = even_boundaries(config.shards, 0, VALUE_RANGE - 1)
+    home_max = boundaries[0] if boundaries else VALUE_RANGE - 1
     schedule: Schedule = []
     for _ in range(config.events):
         kind = rng.choice(kinds)
@@ -186,6 +197,14 @@ def generate_cluster_schedule(
                 if relation == "s" and rng.random() < 0.08:
                     row[0] = -1  # violates the declared constraint
                 target = deletes if rng.random() < 0.4 else inserts
+                if (
+                    config.base_free
+                    and target is deletes
+                    and relation == "r"
+                ):
+                    # Base-free owners cannot existence-check deletes;
+                    # keep partitioned deletes on the full home shard.
+                    row[0] = rng.randrange(home_max + 1)
                 target.setdefault(relation, []).append(row)
             schedule.append(
                 ("txn", {"inserts": inserts, "deletes": deletes})
@@ -251,6 +270,21 @@ class _ClusterEpisode:
             self.constraints,
             self.views,
         ) = cluster_workload(config.shards)
+        self.base_free_shards: tuple[int, ...] = ()
+        if config.base_free:
+            # Only self-maintainable views can be hosted base-free:
+            # v_rt joins without a range restriction, so it is neither
+            # single-relation nor provably empty off-home and must go.
+            self.views = [
+                (name, expression)
+                for name, expression in self.views
+                if name != "v_rt"
+            ]
+            self.base_free_shards = tuple(
+                shard
+                for shard in range(config.shards)
+                if shard != HOME_SHARD
+            )
 
         def link_factory(node: ShardNode, shard_id: int) -> SimShardLink:
             return SimShardLink(
@@ -270,6 +304,7 @@ class _ClusterEpisode:
             self.constraints,
             self.views,
             routed=config.routed,
+            base_free_shards=self.base_free_shards,
             link_factory=link_factory,
         )
         self.links: list[SimShardLink] = [
@@ -436,15 +471,42 @@ class _ClusterEpisode:
             message = self._diff(f"changefeed mirror {name!r}", truth, self.mirror[name])
             if message:
                 self.divergences.append(message)
-        # 3. partitioned union == single-node relation; slices in range
+        # 3. partitioned union == single-node relation; slices in range.
+        # With base-free shards only the home slice is materialized
+        # anywhere, so the union is compared against the single-node
+        # relation restricted to home-owned rows — and every base-free
+        # node must hold zero base rows at all.
+        truth_r = database.relation("r").counts()
+        if self.config.base_free:
+            schema = database.relation("r").schema
+            attributes = self.tables["r"]
+            truth_r = {
+                values: count
+                for values, count in truth_r.items()
+                if self.topology.shard_of_row(
+                    "r", attributes, schema.decode_values(values)
+                )
+                == HOME_SHARD
+            }
         merged_r, _, _ = self.coordinator.merged_counts("r")
         message = self._diff(
             "partitioned relation 'r' union",
-            database.relation("r").counts(),
+            truth_r,
             merged_r,
         )
         if message:
             self.divergences.append(message)
+        for node in self.coordinator.nodes():
+            if not node.base_free:
+                continue
+            self.stats["base_free_rows_dropped"] += node.base_rows_dropped
+            for name in sorted(self.tables):
+                held = len(node.database.relation(name))
+                if held:
+                    self.divergences.append(
+                        f"base-free shard {node.shard_id} holds {held} "
+                        f"tuples of base relation {name!r}"
+                    )
         for node in self.coordinator.nodes():
             attributes = self.tables["r"]
             for values, _ in node.database.relation("r").items():
@@ -525,7 +587,8 @@ class ClusterSimReport:
             f"cluster simulation seed={config.seed} "
             f"episodes={len(self.episodes)} events={config.events} "
             f"shards={config.shards} crashes={config.crashes} "
-            f"partitions={config.partitions} routed={config.routed}"
+            f"partitions={config.partitions} routed={config.routed} "
+            f"base_free={config.base_free}"
         ]
         for key in sorted(self.stats):
             lines.append(f"  {key}: {self.stats[key]}")

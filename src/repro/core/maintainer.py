@@ -44,6 +44,7 @@ from repro.instrumentation import charge
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis import AnalysisReport
     from repro.core.consistency import ConsistencyReport
+    from repro.scheduler.selfmaint import SelfMaintainability
 
 
 class MaintenancePolicy(enum.Enum):
@@ -144,6 +145,10 @@ class ViewMaintainer:
         self._views: dict[str, MaterializedView] = {}
         self._policies: dict[str, MaintenancePolicy] = {}
         self._pending: dict[str, dict[str, Delta]] = {}
+        #: Commits that touched a deferred view's operands since its
+        #: last refresh — the backlog measure staleness SLAs bound.
+        #: (Distinct from len(_pending): composition nets per relation.)
+        self._commits_since_refresh: dict[str, int] = {}
         self._stats: dict[str, MaintenanceStats] = {}
         #: Per view: names it reads (base relations and upstream views).
         self._dependencies: dict[str, frozenset[str]] = {}
@@ -281,6 +286,7 @@ class ViewMaintainer:
         self._views[name] = view
         self._policies[name] = policy
         self._pending[name] = {}
+        self._commits_since_refresh[name] = 0
         self._stats[name] = MaintenanceStats()
         self._dependencies[name] = referenced
         if self.use_plan_cache:
@@ -305,6 +311,7 @@ class ViewMaintainer:
         del self._views[name]
         del self._policies[name]
         del self._pending[name]
+        del self._commits_since_refresh[name]
         del self._stats[name]
         del self._dependencies[name]
         self._subscribers.pop(name, None)
@@ -585,6 +592,7 @@ class ViewMaintainer:
                 if not view_delta.is_empty():
                     applied_view_deltas[name] = view_delta
             else:
+                self._commits_since_refresh[name] += 1
                 pending = self._pending[name]
                 for relation_name, delta in effective.items():
                     existing = pending.get(relation_name)
@@ -595,6 +603,44 @@ class ViewMaintainer:
                         pending.pop(relation_name, None)
                     else:
                         pending[relation_name] = composed
+
+    def apply_deltas(self, txn_id: int, deltas: Mapping[str, Delta]) -> None:
+        """Maintain every view from externally supplied net deltas.
+
+        The commit pipeline calls the same entry point through its
+        hook; this public seam exists for **base-free hosts**
+        (``base_free=True`` followers and shard nodes): they hold no
+        base-relation rows to commit against, so they decode shipped
+        deltas and feed them here directly.  Stacked views, deferred
+        composition, subscribers and statistics all behave exactly as
+        for a local commit.  Callers own sequencing: deltas must arrive
+        in commit order, and the database log must be advanced so
+        ``last_refresh_sequence`` bookkeeping stays meaningful.
+        """
+        self._on_commit(txn_id, deltas)
+
+    # ------------------------------------------------------------------
+    # Self-maintainability
+    # ------------------------------------------------------------------
+    def self_maintainability(self, name: str) -> "SelfMaintainability":
+        """Classify one registered view (see
+        :func:`repro.scheduler.selfmaint.classify_self_maintainability`);
+        the proof uses the database's declared constraints."""
+        self._require_view(name)
+        from repro.scheduler.selfmaint import classify_self_maintainability
+
+        return classify_self_maintainability(
+            self._views[name].definition, self.database.constraints
+        )
+
+    def is_self_maintainable(self, name: str) -> bool:
+        """Can this view be maintained from its contents + deltas alone?
+
+        True exactly when a base-free host could carry the view: no
+        maintenance step ever consults base-relation state.  Sound but
+        not complete (a ``False`` may be conservative).
+        """
+        return self.self_maintainability(name).self_maintainable
 
     # ------------------------------------------------------------------
     # Refresh-side (deferred views)
@@ -611,6 +657,7 @@ class ViewMaintainer:
         self._require_view(name)
         view = self._views[name]
         pending = self._pending[name]
+        self._commits_since_refresh[name] = 0
         if not pending:
             view.last_refresh_sequence = self.database.log.last_sequence()
             return False
@@ -622,6 +669,38 @@ class ViewMaintainer:
         """A deferred view's composed, not-yet-applied deltas."""
         self._require_view(name)
         return dict(self._pending[name])
+
+    def backlog(self, name: str) -> dict[str, int]:
+        """How stale one view is, as four observable measures.
+
+        * ``pending_relations`` — relations with a composed pending
+          delta (deferred views; 0 for immediate ones);
+        * ``pending_delta_size`` — net tuples across those composed
+          deltas (inserts plus deletes after cancellation);
+        * ``commits_since_refresh`` — commits that touched the view's
+          operands since the last refresh (composition may net the
+          *deltas* away, but the commit count still ages the snapshot);
+        * ``sequence_lag`` — log sequences between the database head
+          and the view's ``last_refresh_sequence``.
+
+        The `stats` server op and the CLI ``stats <view>`` line expose
+        these, and the staleness-SLA scheduler prioritizes by them.
+        """
+        self._require_view(name)
+        pending = self._pending[name]
+        return {
+            "pending_relations": len(pending),
+            "pending_delta_size": sum(
+                delta.insert_count() + delta.delete_count()
+                for delta in pending.values()
+            ),
+            "commits_since_refresh": self._commits_since_refresh[name],
+            "sequence_lag": max(
+                0,
+                self.database.log.last_sequence()
+                - self._views[name].last_refresh_sequence,
+            ),
+        }
 
     # ------------------------------------------------------------------
     # Quiescent points

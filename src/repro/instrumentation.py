@@ -49,7 +49,17 @@ one call site):
   ``static_irrelevance_proofs`` (Theorem 4.1 proofs attempted) and
   ``static_tuples_dropped`` (tuples discarded with zero per-tuple
   screening by a compiled plan's static-irrelevance short-circuit; see
-  ``docs/analysis.md``).
+  ``docs/analysis.md``);
+* scheduling (``scheduler_*`` and base-free hosting; see
+  ``docs/scheduler.md``) — ``self_maintainability_proofs``
+  (classifier verdicts attempted while deciding whether a view can be
+  maintained without base relations), ``scheduler_ticks`` /
+  ``scheduler_refreshes`` / ``scheduler_sla_violations`` /
+  ``scheduler_backpressure_deferrals`` charged by
+  :class:`repro.scheduler.RefreshScheduler`, and
+  ``base_free_rows_dropped`` (base-relation tuples shed by a
+  :class:`repro.replication.Follower` or cluster shard hosting only
+  self-maintainable views).
 
 Usage::
 

@@ -16,6 +16,22 @@ after ``poll()`` returns 0 with an undamaged tail, the follower's base
 relations equal the leader's as of the follower's position, and each
 follower view equals what the same definition would contain on the
 leader (deferred views after a ``refresh``).
+
+Base-free hosting
+-----------------
+With ``base_free=True`` the follower sheds its base-relation copy once
+its views are registered: every view must be **self-maintainable**
+(:mod:`repro.scheduler.selfmaint` — maintainable from the view's own
+counted contents plus the delta, with no base access), the bootstrap
+rows are cleared, and each shipped record is decoded into net deltas
+and fed straight to the maintainer
+(:meth:`~repro.core.maintainer.ViewMaintainer.apply_deltas`) instead of
+being re-committed against base state.  The maintained views stay
+byte-for-byte what the full replica computes, because the compiled
+plan's single-occurrence delta row never reads an OLD operand — only
+the memory for the base copies is gone.  Constraint enforcement is
+necessarily the leader's job in this mode: a base-free host has no
+state to validate deltas against.
 """
 
 from __future__ import annotations
@@ -25,6 +41,7 @@ from repro.core.maintainer import MaintenancePolicy, ViewMaintainer
 from repro.core.views import MaterializedView
 from repro.engine.log import replay_records
 from repro.errors import ReplicationError
+from repro.instrumentation import charge
 from repro.replication.checkpoints import Checkpoint, latest_checkpoint_path
 from repro.replication.recovery import decode_wal_record
 from repro.replication.wal import TailDamage, WalReader
@@ -35,11 +52,20 @@ class Follower:
 
     ``maintainer_options`` are passed through to the follower's private
     :class:`ViewMaintainer` (e.g. ``use_relevance_filter=False`` for an
-    ablation replica).
+    ablation replica).  ``base_free=True`` drops the base-relation copy
+    after view registration (see the module docstring); it requires
+    every registered view to be self-maintainable.
     """
 
-    def __init__(self, directory: str, **maintainer_options) -> None:
+    def __init__(
+        self, directory: str, base_free: bool = False, **maintainer_options
+    ) -> None:
         self.directory = directory
+        self.base_free = base_free
+        #: Distinct base tuples shed by base-free hosting (0 until the
+        #: first applied record; the benchmark's memory-saving measure).
+        self.base_rows_dropped = 0
+        self._base_dropped = False
         path = latest_checkpoint_path(directory)
         if path is None:
             raise ReplicationError(
@@ -74,8 +100,17 @@ class Follower:
 
         The initial materialization evaluates against the replica at
         the current position; subsequent polls maintain it
-        differentially from shipped deltas alone.
+        differentially from shipped deltas alone.  On a base-free
+        follower all views must be registered before the first record
+        is applied — the bootstrap rows the materialization needs are
+        shed at that point.
         """
+        if self._base_dropped:
+            raise ReplicationError(
+                f"cannot define view {name!r}: this base-free follower has "
+                "already shed its base-relation copy; register every view "
+                "before applying records"
+            )
         return self.maintainer.define_view(name, expression, policy=policy)
 
     def view(self, name: str) -> MaterializedView:
@@ -109,13 +144,73 @@ class Follower:
                 f"{record.sequence}: records {self.position + 1}.."
                 f"{record.sequence - 1} are missing"
             )
-        replay_records(
-            self.database,
-            [decode_wal_record(self.database, record)],
-            preserve_txn_ids=True,
-        )
+        if self.base_free:
+            self.shed_base_copies()
+            log_record = decode_wal_record(self.database, record)
+            appended = self.database.log.append(
+                log_record.txn_id, log_record.deltas
+            )
+            if appended.sequence != record.sequence:
+                raise ReplicationError(
+                    f"base-free follower log assigned sequence "
+                    f"{appended.sequence} to WAL record {record.sequence}; "
+                    "the in-memory log is out of step with the WAL"
+                )
+            self.maintainer.apply_deltas(log_record.txn_id, log_record.deltas)
+        else:
+            replay_records(
+                self.database,
+                [decode_wal_record(self.database, record)],
+                preserve_txn_ids=True,
+            )
         self.position = record.sequence
         return True
+
+    # ------------------------------------------------------------------
+    # Base-free hosting
+    # ------------------------------------------------------------------
+    @property
+    def base_dropped(self) -> bool:
+        """True once the base-relation copy has been shed."""
+        return self._base_dropped
+
+    def shed_base_copies(self) -> int:
+        """Drop the bootstrap base rows (base-free mode; idempotent).
+
+        Validates that every registered view is self-maintainable —
+        anything else would silently diverge once the base copies are
+        gone, so offenders are a :class:`ReplicationError` naming the
+        views and why.  Returns the number of distinct base tuples
+        dropped (also kept on :attr:`base_rows_dropped`).  Called
+        automatically before the first record application.
+        """
+        if not self.base_free:
+            raise ReplicationError(
+                "shed_base_copies() requires base_free=True"
+            )
+        if self._base_dropped:
+            return self.base_rows_dropped
+        offenders = [
+            name
+            for name in self.maintainer.view_names()
+            if not self.maintainer.is_self_maintainable(name)
+        ]
+        if offenders:
+            reasons = "; ".join(
+                f"{name}: {self.maintainer.self_maintainability(name).reason}"
+                for name in offenders
+            )
+            raise ReplicationError(
+                "base-free follower cannot host non-self-maintainable "
+                f"view(s) {offenders}: {reasons}"
+            )
+        dropped = 0
+        for name in sorted(self.database.relation_names()):
+            dropped += self.database.relation(name).clear()
+        self.base_rows_dropped = dropped
+        self._base_dropped = True
+        charge("base_free_rows_dropped", dropped)
+        return dropped
 
     def poll(self, max_records: int | None = None) -> int:
         """Consume newly shipped records; returns how many were applied.

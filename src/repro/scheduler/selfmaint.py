@@ -1,0 +1,179 @@
+"""Self-maintainability classification for SPJ views.
+
+A view ``v = π_X(σ_C(R₁ × … × R_p))`` is *self-maintainable* when, for
+every legal transaction, the new materialization is a function of the
+old view contents (multiplicity counters included) and the
+transaction's net deltas alone — no base-relation state is ever
+consulted.  Hosts that carry only self-maintainable views can drop
+their base-relation copies entirely and still maintain byte-for-byte
+correct views from shipped deltas (``base_free=True`` on
+:class:`~repro.replication.follower.Follower` and
+:class:`~repro.cluster.shard.ShardNode`).
+
+Why join views are not self-maintainable in general
+---------------------------------------------------
+The obstruction is the *empty view*: take ``v = σ_{A=C}(r × s)`` with
+``r`` empty and ``s`` arbitrary, so ``v`` is empty.  Inserting a tuple
+into ``r`` must produce every matching ``s``-partner in the view — but
+the empty view contents carry no information about ``s`` at all, so no
+function of (view contents, delta) can be correct for every ``s``.
+Projection does not help (the counters only count rows already in the
+view), and neither does any join order.  Self-maintainability for join
+views therefore needs *extra premises* that let the probe side be
+reconstructed or proven empty.  This module implements the two classes
+whose premises the engine can actually discharge:
+
+* ``single_relation`` (``p == 1``) — always self-maintainable.  The
+  compiled maintenance plan's delta enumeration for one occurrence
+  contains exactly the ``(DELTA,)`` row: the plan screens, selects and
+  projects the delta itself with counted semantics and never
+  materializes an OLD operand (see
+  ``repro.core.differential.LazyOperandEntry`` — OLD operands are built
+  lazily, and the single-occurrence DELTA row requests none).  Running
+  the *same compiled plan* against empty base relations is therefore
+  byte-for-byte identical by construction, which is how the base-free
+  hosting modes execute it.
+* ``constraint_empty_join`` (``p ≥ 2``) — the view condition conjoined
+  with every declared relation constraint (each ``K_R`` requalified
+  through its occurrence's rename, Theorem 4.1 style) is
+  unsatisfiable.  Every legal database state then yields an **empty**
+  view, and every legal delta yields an empty view delta, so
+  maintenance is trivially base-free.  Per-shard key-range constraints
+  make this case real in the cluster: a shard whose ownership range
+  contradicts a view's condition hosts that view as provably empty.
+
+Everything else is classified ``join`` / not self-maintainable, with
+the obstruction spelled out in the reason.  The test is sound but not
+complete: like all Section 4 proofs it is decided over unbounded
+discrete domains, so it may answer "not self-maintainable" for a view
+that a finer analysis could admit, but never the reverse.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Optional, Protocol
+
+from repro.algebra.conditions import Condition
+from repro.algebra.expressions import requalify_condition
+from repro.core.satisfiability import is_satisfiable
+from repro.instrumentation import charge
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.views import ViewDefinition
+
+
+#: ``p == 1``: selection/projection over one occurrence — the delta-only
+#: truth-table row maintains the view without OLD operands.
+KIND_SINGLE_RELATION = "single_relation"
+#: ``p >= 2`` but ``C ∧ K_R₁ ∧ … ∧ K_Rp`` is unsatisfiable: the view is
+#: provably empty in every legal state, so maintenance is a no-op.
+KIND_CONSTRAINT_EMPTY = "constraint_empty_join"
+#: ``p >= 2`` with no emptiness proof: the probe side of some delta row
+#: cannot be recovered from view contents alone (the empty-view
+#: obstruction), so base state is required.
+KIND_JOIN = "join"
+
+
+class _ConstraintLookup(Protocol):
+    """Anything with ``get(name) -> Condition | None`` — a
+    :class:`~repro.engine.constraints.ConstraintCatalog` or a plain
+    mapping."""
+
+    def get(self, relation_name: str) -> Optional[Condition]: ...
+
+
+class SelfMaintainability:
+    """One view's classification, with the proof sketch as prose."""
+
+    __slots__ = ("view", "self_maintainable", "kind", "reason")
+
+    def __init__(
+        self, view: str, self_maintainable: bool, kind: str, reason: str
+    ) -> None:
+        self.view = view
+        self.self_maintainable = self_maintainable
+        self.kind = kind
+        self.reason = reason
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form (stable keys)."""
+        return {
+            "view": self.view,
+            "self_maintainable": self.self_maintainable,
+            "kind": self.kind,
+            "reason": self.reason,
+        }
+
+    def __repr__(self) -> str:
+        verdict = "self-maintainable" if self.self_maintainable else "base-bound"
+        return f"<SelfMaintainability {self.view!r} {verdict} ({self.kind})>"
+
+
+def classify_self_maintainability(
+    definition: "ViewDefinition",
+    constraints: Optional[_ConstraintLookup] = None,
+) -> SelfMaintainability:
+    """Classify one view definition against declared constraints.
+
+    ``constraints`` maps relation names to their declared invariants
+    (``None`` disables the ``constraint_empty_join`` class); pass the
+    owning database's :attr:`~repro.engine.database.Database.constraints`
+    catalog.  Deterministic for a given definition and catalog.
+    """
+    normal_form = definition.normal_form
+    name = definition.name
+    charge("self_maintainability_proofs")
+
+    if len(normal_form.occurrences) == 1:
+        relation = normal_form.occurrences[0].name
+        return SelfMaintainability(
+            name,
+            True,
+            KIND_SINGLE_RELATION,
+            f"single occurrence of {relation!r}: the delta-only plan row "
+            "screens, selects and projects the shipped delta with counted "
+            "semantics and never materializes an OLD operand",
+        )
+
+    if constraints is not None:
+        condition = normal_form.condition
+        constrained: list[str] = []
+        for occurrence in normal_form.occurrences:
+            declared = constraints.get(occurrence.name)
+            if declared is None:
+                continue
+            condition = condition.conjoin(
+                requalify_condition(declared, occurrence.rename)
+            )
+            constrained.append(occurrence.name)
+        if constrained and not is_satisfiable(condition):
+            listed = ", ".join(sorted(set(constrained)))
+            return SelfMaintainability(
+                name,
+                True,
+                KIND_CONSTRAINT_EMPTY,
+                "condition conjoined with the declared constraints on "
+                f"{listed} is unsatisfiable: the view is empty in every "
+                "legal database state and every legal delta is irrelevant",
+            )
+
+    relations = ", ".join(sorted(normal_form.relation_names))
+    return SelfMaintainability(
+        name,
+        False,
+        KIND_JOIN,
+        f"join over {relations}: an insert into one operand must be joined "
+        "against the others' current state, which the view contents do not "
+        "determine (consider the view while empty) — base copies required",
+    )
+
+
+def classify_catalog(
+    definitions: Mapping[str, "ViewDefinition"],
+    constraints: Optional[_ConstraintLookup] = None,
+) -> dict[str, SelfMaintainability]:
+    """Classify every definition; keys follow the input mapping's names."""
+    return {
+        name: classify_self_maintainability(definition, constraints)
+        for name, definition in definitions.items()
+    }

@@ -1,0 +1,91 @@
+"""Per-view staleness SLA declarations.
+
+A deferred view is a snapshot [AL80]: commits only compose its pending
+deltas and :meth:`~repro.core.maintainer.ViewMaintainer.refresh`
+applies them on demand.  An SLA bounds how stale the snapshot may get
+along two axes:
+
+* ``max_pending_commits`` — how many commits may accumulate in the
+  view's composed backlog before a refresh is owed;
+* ``max_lag_ticks`` — how many virtual-clock ticks the *oldest*
+  unapplied commit may age before a refresh is owed.
+
+Either bound may be ``None`` (unbounded on that axis), but not both —
+an SLA with no bound schedules nothing.  The scheduler refreshes a view
+when it becomes **due** (a measure *reaches* its bound) and counts an
+**SLA violation** when a measure is observed *strictly beyond* its
+bound — under nominal load with a tick per commit, views refresh
+exactly at their bounds and the violation count stays zero; violations
+appear only when load or backpressure pushes a refresh past its
+deadline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class StalenessSLA:
+    """Staleness bounds for one deferred view."""
+
+    __slots__ = ("max_pending_commits", "max_lag_ticks")
+
+    def __init__(
+        self,
+        max_pending_commits: Optional[int] = None,
+        max_lag_ticks: Optional[int] = None,
+    ) -> None:
+        for label, bound in (
+            ("max_pending_commits", max_pending_commits),
+            ("max_lag_ticks", max_lag_ticks),
+        ):
+            if bound is not None and bound < 1:
+                raise ValueError(f"{label} must be >= 1, got {bound}")
+        if max_pending_commits is None and max_lag_ticks is None:
+            raise ValueError("an SLA needs at least one bound")
+        self.max_pending_commits = max_pending_commits
+        self.max_lag_ticks = max_lag_ticks
+
+    def due(self, pending_commits: int, lag_ticks: int) -> bool:
+        """Is a refresh owed now?  (A measure reached its bound.)"""
+        if (
+            self.max_pending_commits is not None
+            and pending_commits >= self.max_pending_commits
+        ):
+            return True
+        return self.max_lag_ticks is not None and lag_ticks >= self.max_lag_ticks
+
+    def violated(self, pending_commits: int, lag_ticks: int) -> bool:
+        """Was the deadline missed?  (A measure is strictly beyond.)"""
+        if (
+            self.max_pending_commits is not None
+            and pending_commits > self.max_pending_commits
+        ):
+            return True
+        return self.max_lag_ticks is not None and lag_ticks > self.max_lag_ticks
+
+    def overdue_by(self, pending_commits: int, lag_ticks: int) -> int:
+        """How far past the bounds the view is — the scheduling priority.
+
+        The maximum excess over any bounded axis (0 when within bounds);
+        larger means more urgent.
+        """
+        excess = 0
+        if self.max_pending_commits is not None:
+            excess = max(excess, pending_commits - self.max_pending_commits)
+        if self.max_lag_ticks is not None:
+            excess = max(excess, lag_ticks - self.max_lag_ticks)
+        return excess
+
+    def as_dict(self) -> dict[str, Optional[int]]:
+        """JSON-ready form (stable keys)."""
+        return {
+            "max_pending_commits": self.max_pending_commits,
+            "max_lag_ticks": self.max_lag_ticks,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<StalenessSLA pending<={self.max_pending_commits} "
+            f"lag<={self.max_lag_ticks}>"
+        )

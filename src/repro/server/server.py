@@ -42,6 +42,7 @@ from repro.errors import (
     UnknownViewError,
 )
 from repro.instrumentation import CostRecorder, recording
+from repro.scheduler import RefreshScheduler, StalenessSLA, TickClock
 from repro.server import protocol
 from repro.server.protocol import ProtocolError
 from repro.server.session import LocalSession, Session
@@ -70,6 +71,8 @@ class ServerConfig:
         "request_timeout",
         "drain_timeout",
         "changefeed_history",
+        "staleness_slas",
+        "scheduler_batch_limit",
     )
 
     def __init__(
@@ -82,6 +85,8 @@ class ServerConfig:
         request_timeout: float = 30.0,
         drain_timeout: float = 5.0,
         changefeed_history: int = 1024,
+        staleness_slas: "Mapping[str, StalenessSLA] | None" = None,
+        scheduler_batch_limit: int = 4,
     ) -> None:
         self.host = host
         self.port = port
@@ -91,6 +96,11 @@ class ServerConfig:
         self.request_timeout = request_timeout
         self.drain_timeout = drain_timeout
         self.changefeed_history = changefeed_history
+        #: view name → :class:`~repro.scheduler.sla.StalenessSLA` for
+        #: deferred views the server should refresh on its own; the
+        #: server's virtual clock advances once per committed txn.
+        self.staleness_slas = dict(staleness_slas or {})
+        self.scheduler_batch_limit = scheduler_batch_limit
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{name}={getattr(self, name)!r}" for name in self.__slots__)
@@ -177,6 +187,18 @@ class ViewServer:
         self._asyncio_server: asyncio.AbstractServer | None = None
         self._draining = False
         self._stopped: asyncio.Event | None = None
+        #: Virtual time: one tick per committed transaction.  The
+        #: scheduler refreshes SLA-bound deferred views inside the
+        #: committing request, so subscribers see the resulting view
+        #: deltas through the ordinary changefeed fan-out.
+        self.clock = TickClock()
+        self.scheduler = RefreshScheduler(
+            maintainer,
+            clock=self.clock,
+            batch_limit=self.config.scheduler_batch_limit,
+        )
+        for name, sla in sorted(self.config.staleness_slas.items()):
+            self.scheduler.declare_sla(name, sla)
         for name in maintainer.view_names():
             self._attach_feed(name)
 
@@ -522,6 +544,12 @@ class ViewServer:
             self.recorder.incr("server_txns_failed")
             raise ProtocolError(protocol.E_TXN_FAILED, str(exc)) from exc
         self.recorder.incr("server_txns_committed")
+        # Advance virtual time and let the scheduler refresh whatever
+        # the commit pushed past its staleness SLA.
+        self.clock.advance(1)
+        for refreshed in self.scheduler.tick():
+            self.recorder.incr("server_scheduler_refreshes")
+            self.recorder.incr(f"server_scheduler_refreshed_{refreshed}")
         applied = {
             name: {
                 "inserted": delta.insert_count(),
@@ -582,14 +610,23 @@ class ViewServer:
         return {"unsubscribed": subscription_id, "view": view_name}
 
     def _op_stats(self, session: Session, doc: Mapping[str, Any]) -> dict[str, Any]:
+        only = protocol.request_field(doc, "view", str, required=False)
+        if only is not None and only not in self.maintainer.view_names():
+            raise ProtocolError(
+                protocol.E_UNKNOWN_TARGET,
+                f"{only!r} names no view (stats filters are per-view)",
+            )
         views = {}
         for name, maintenance in self.maintainer.all_stats().items():
+            if only is not None and name != only:
+                continue
             view = self.maintainer.view(name)
             views[name] = {
                 "policy": self.maintainer.policy(name).value,
                 "tuples": len(view.contents),
                 "seq": view.last_refresh_sequence,
                 "maintenance": maintenance,
+                "backlog": self.maintainer.backlog(name),
             }
         result = {
             "counters": self.recorder.snapshot(),
@@ -601,6 +638,17 @@ class ViewServer:
             },
             "subscriptions": sum(len(t) for t in self._subscribers.values()),
             "seq": self.database.log.last_sequence(),
+            "scheduler": {
+                "now": self.clock.now,
+                "batch_limit": self.scheduler.batch_limit,
+                "slas": {
+                    name: sla.as_dict()
+                    for name in self.scheduler.sla_names()
+                    if (sla := self.scheduler.sla(name)) is not None
+                },
+                "violations": self.scheduler.violations(),
+                "counters": self.scheduler.stats.as_dict(),
+            },
         }
         if self.durability is not None:
             result["wal_position"] = self.durability.position

@@ -26,6 +26,15 @@ trace.  The checks:
     simulated base tables are required), and its own views must pass
     the full-recompute oracle against its replica.
 
+:func:`verify_base_free_follower`
+    A base-free follower holds no base replica to recompute from, so
+    the ground truth comes from the *leader*: each follower view is
+    re-evaluated with the naive tree evaluator against the leader's
+    relations and bag-compared with the follower's maintained contents.
+    Once the bootstrap copy has been shed, every base relation on the
+    follower must also be empty — rows reappearing there would mean the
+    delta-only path quietly fell back to base state.
+
 All comparisons are *bag* comparisons over encoded tuples — the same
 ``Relation.counts()`` mapping the persistence layer serializes, so
 "agree" here means byte-for-byte equal on disk too.
@@ -35,6 +44,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.algebra.evaluate import evaluate
 from repro.engine.database import Database
 from repro.engine.log import replay_records
 from repro.replication.checkpoints import Checkpoint, latest_checkpoint_path
@@ -172,4 +182,46 @@ def verify_follower(
     )
     follower.maintainer.quiesce()
     divergences.extend(verify_maintainer(label, follower.maintainer))
+    return divergences
+
+
+def verify_base_free_follower(
+    label: str, follower: "Follower", leader: Database
+) -> list[str]:
+    """Base-free follower views vs a leader-side full recompute.
+
+    Only meaningful at a quiescent point where the follower has applied
+    every committed record — otherwise the leader is simply ahead.
+    Deferred follower views are quiesced first, as everywhere else.
+    """
+    divergences: list[str] = []
+    if follower.base_dropped:
+        for name in sorted(follower.database.relation_names()):
+            held = len(follower.database.relation(name))
+            if held:
+                divergences.append(
+                    f"{label}: shed base relation {name!r} holds {held} "
+                    "tuples — the base-free path leaked base state"
+                )
+    follower.maintainer.quiesce()
+    instances = {
+        name: leader.relation(name) for name in leader.relation_names()
+    }
+    for name in sorted(follower.maintainer.view_names()):
+        view = follower.maintainer.view(name)
+        want = evaluate(view.definition.expression, instances).counts()
+        have = view.contents.counts()
+        if want == have:
+            continue
+        missing = sorted(set(want) - set(have))
+        unexpected = sorted(set(have) - set(want))
+        recounted = sorted(
+            k for k in set(want) & set(have) if want[k] != have[k]
+        )
+        divergences.append(
+            f"{label}: base-free view {name!r} diverges from the leader "
+            f"recompute (missing {missing[:3]!r}, unexpected "
+            f"{unexpected[:3]!r}, count mismatches {recounted[:3]!r}; "
+            f"sizes {len(want)} vs {len(have)})"
+        )
     return divergences

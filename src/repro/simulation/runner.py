@@ -112,6 +112,7 @@ class SimulationReport:
         lines = [
             f"simulation seed={config.seed} episodes={len(self.episodes)} "
             f"events={config.events} followers={config.followers} "
+            f"base_free_followers={config.base_free_followers} "
             f"clients={config.clients} crashes={config.crashes} "
             f"partitions={config.partitions} ddl={config.ddl} "
             f"corruption={config.corruption}"

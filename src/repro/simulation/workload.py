@@ -62,6 +62,7 @@ from repro.replication.durability import DurabilityManager
 from repro.replication.follower import Follower
 from repro.replication.recovery import Recovery
 from repro.replication.wal import WalCorruptionError, WalReader
+from repro.scheduler import RefreshScheduler, StalenessSLA
 from repro.server.protocol import ProtocolError
 from repro.server.server import ServerConfig, ViewServer
 from repro.simulation import oracle
@@ -156,6 +157,7 @@ class SimulationConfig:
         "ddl",
         "corruption",
         "followers",
+        "base_free_followers",
         "clients",
         "lost_fsync_rate",
     )
@@ -170,6 +172,7 @@ class SimulationConfig:
         ddl: bool = True,
         corruption: bool = False,
         followers: int = 1,
+        base_free_followers: int = 1,
         clients: int = 2,
         lost_fsync_rate: float = 0.15,
     ) -> None:
@@ -181,8 +184,17 @@ class SimulationConfig:
         self.ddl = ddl
         self.corruption = corruption
         self.followers = followers
+        #: Extra followers hosting self-maintainable views with their
+        #: base-relation copies shed (verified against the leader by
+        #: :func:`repro.simulation.oracle.verify_base_free_follower`).
+        self.base_free_followers = base_free_followers
         self.clients = clients
         self.lost_fsync_rate = lost_fsync_rate
+
+    @property
+    def total_followers(self) -> int:
+        """Full replicas plus base-free replicas (one link each)."""
+        return self.followers + self.base_free_followers
 
 
 # ----------------------------------------------------------------------
@@ -203,7 +215,7 @@ def generate_schedule(
     ]
     if config.partitions:
         kinds.append(("client_stall", 3))
-        if config.followers:
+        if config.total_followers:
             kinds.append(("follower_stall", 3))
             kinds.append(("partition", 3))
     if config.ddl:
@@ -268,9 +280,15 @@ def _payload(
     if kind == "client_stall":
         return {"client": rng.randrange(config.clients), "ticks": rng.randint(2, 6)}
     if kind == "follower_stall":
-        return {"follower": rng.randrange(config.followers), "ticks": rng.randint(2, 6)}
+        return {
+            "follower": rng.randrange(config.total_followers),
+            "ticks": rng.randint(2, 6),
+        }
     if kind == "partition":
-        return {"follower": rng.randrange(config.followers), "ticks": rng.randint(2, 8)}
+        return {
+            "follower": rng.randrange(config.total_followers),
+            "ticks": rng.randint(2, 8),
+        }
     if kind == "ddl_index":
         name = rng.choice(sorted(BASE_TABLES))
         attrs = rng.sample(BASE_TABLES[name], rng.randint(1, 2))
@@ -362,19 +380,39 @@ class Episode:
             self.database, self.maintainer, self._server_config(),
             durability=self.durability,
         )
+        self._attach_scheduler()
+
+    def _attach_scheduler(self) -> None:
+        # The deferred view "vd" runs under a staleness SLA driven by
+        # the episode's virtual clock: the scheduler ticks once per
+        # simulated network tick, so SLA violations are as replayable
+        # as everything else.
+        self.scheduler = RefreshScheduler(
+            self.maintainer, clock=self.clock, batch_limit=2
+        )
+        self.scheduler.declare_sla(
+            "vd", StalenessSLA(max_pending_commits=8, max_lag_ticks=6)
+        )
 
     def _server_config(self) -> ServerConfig:
         return ServerConfig(changefeed_history=64)
 
     def _build_followers(self, rng: random.Random) -> None:
         self.links: list[ReplicaLink] = []
-        self.follower_views: list[tuple[str, Expression]] = []
-        for index in range(self.config.followers):
-            follower = Follower(self.directory)
+        self.follower_views: list[tuple[str, Expression, bool]] = []
+        for index in range(self.config.total_followers):
+            # Links past the full replicas host base-free followers:
+            # their views must be self-maintainable, so they get
+            # single-relation definitions (a random join view would be
+            # legitimately rejected at shed time).
+            base_free = index >= self.config.followers
+            follower = Follower(self.directory, base_free=base_free)
             name = f"g{index}"
-            expression = random_spj_expression(rng)
+            expression = random_spj_expression(
+                rng, max_operands=1 if base_free else 3
+            )
             follower.define_view(name, expression)
-            self.follower_views.append((name, expression))
+            self.follower_views.append((name, expression, base_free))
             lossy = self.config.partitions
             channel = SimChannel(
                 self.clock,
@@ -409,6 +447,10 @@ class Episode:
         self._collect_stats()
         return self
 
+    def _fold_scheduler_stats(self) -> None:
+        for key, value in self.scheduler.stats.as_dict().items():
+            self.stats[f"scheduler_{key}"] += value
+
     def _collect_stats(self) -> None:
         for client in self.clients:
             self.divergences.extend(client.divergences)
@@ -416,10 +458,15 @@ class Episode:
                 self.stats[f"client_{key}"] += value
         for link in self.links:
             self.stats["follower_records_applied"] += link.records_applied
+            if link.follower.base_free:
+                self.stats["base_free_rows_dropped"] += (
+                    link.follower.base_rows_dropped
+                )
             for key, value in link.channel.stats().items():
                 self.stats[f"net_{key}"] += value
         for key, value in self.io.stats().items():
             self.stats[key] += value
+        self._fold_scheduler_stats()
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -449,6 +496,8 @@ class Episode:
         for _ in range(payload["ticks"]):
             self.clock.advance(1)
             self._pump_network()
+            for name in self.scheduler.tick():
+                self.stats[f"scheduler_refreshed_{name}"] += 1
 
     def _event_checkpoint(self, payload: dict[str, Any]) -> None:
         self._checkpoint_now()
@@ -578,6 +627,11 @@ class Episode:
             self.database, self.maintainer, self._server_config(),
             durability=self.durability,
         )
+        # The scheduler dies with the machine; fold its counters into
+        # the episode stats and attach a fresh one to the recovered
+        # maintainer (SLA declarations are code, like view definitions).
+        self._fold_scheduler_stats()
+        self._attach_scheduler()
         self.stats["recoveries"] += 1
         # The recovered copy must equal checkpoint + surviving WAL,
         # independently rebuilt without any maintainer in the loop.
@@ -604,8 +658,8 @@ class Episode:
 
     def _rebootstrap_follower(self, index: int) -> None:
         """Rebuild one follower from the leader's latest checkpoint."""
-        follower = Follower(self.directory)
-        name, expression = self.follower_views[index]
+        name, expression, base_free = self.follower_views[index]
+        follower = Follower(self.directory, base_free=base_free)
         follower.define_view(name, expression)
         self.links[index].reset(follower)
         self.stats["follower_resets"] += 1
@@ -715,11 +769,20 @@ class Episode:
             )
         )
         for index, link in enumerate(self.links):
-            found.extend(
-                oracle.verify_follower(
-                    f"follower {index}", link.follower, self.database,
-                    required=sorted(BASE_TABLES),
+            if link.follower.base_free:
+                found.extend(
+                    oracle.verify_base_free_follower(
+                        f"base-free follower {index}",
+                        link.follower,
+                        self.database,
+                    )
                 )
-            )
+            else:
+                found.extend(
+                    oracle.verify_follower(
+                        f"follower {index}", link.follower, self.database,
+                        required=sorted(BASE_TABLES),
+                    )
+                )
         self.stats["oracle_checks"] += 1
         self.divergences.extend(found)
