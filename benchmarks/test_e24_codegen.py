@@ -1,0 +1,253 @@
+"""E24 — codegen'd batch kernels vs the per-tuple interpreter.
+
+The compiled maintenance hot path (docs/codegen.md) replaces the
+interpreter's per-tuple dispatch with generated Python closures: one
+screen kernel per (view, relation-occurrence) evaluating the
+invariant/variant split over a whole delta batch, one row kernel per
+truth-table shape driving join probes through pre-resolved bindings,
+and one apply kernel folding projection and multiplicity counting in
+bulk.  This experiment drives the Example 4.1 view
+``u = π_{A,D}(σ_{A<10 ∧ C>5 ∧ B=C}(r × s))`` — plus a selection view
+and a counted projection view, so all three Section 5 special cases
+are on the hot path — through an identical seeded commit stream twice:
+once with ``use_codegen=True`` (the default) and once pinned to the
+interpreter.  The ablation asserts:
+
+* the maintained view contents are byte-for-byte identical, and every
+  abstract work counter the interpreter charges (tuples scanned, join
+  probes, truth-table rows, screen evaluations, memo hits, …) is
+  charged identically by the kernels — the speedup is pure dispatch
+  overhead, not work skipped;
+* the codegen run is faster in wall-clock terms (skipped under
+  ``REPRO_E24_SMOKE=1``, where streams are too short to time).
+
+Set ``REPRO_E24_SMOKE=1`` (CI does) to shrink the stream to a smoke
+run of the same code paths.  Set ``REPRO_E24_RECORD=1`` to append the
+measured numbers to ``BENCH_E24.json`` at the repo root.
+"""
+
+import json
+import random
+import time
+from datetime import date
+from pathlib import Path
+
+from benchmarks.conftest import record_env, smoke_env
+from repro import BaseRef, Database, ViewMaintainer
+from repro.bench.reporting import format_table
+from repro.instrumentation import CostRecorder, recording
+
+SMOKE = smoke_env("E24")
+RECORD = record_env("E24")
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_E24.json"
+
+TXNS = 30 if SMOKE else 250
+SEED_ROWS = 40 if SMOKE else 250
+#: Timing repeats per mode; the minimum is reported (noise shrinks the
+#: minimum toward the true cost, never below it).
+REPEATS = 1 if SMOKE else 3
+
+#: All three Section 5 special cases plus the Example 4.1 join view.
+VIEWS = {
+    "u": BaseRef("r")
+    .product(BaseRef("s"))
+    .select("A < 10 and C > 5 and B = C")
+    .project(["A", "D"]),
+    "sel": BaseRef("r").select("A < 10 and B > 2"),
+    "proj": BaseRef("s").project(["D"]),
+}
+
+#: Values straddle the A < 10 screen boundary so the stream mixes
+#: relevant and (statically) irrelevant updates, as in Example 4.1.
+VALUE_RANGE = (-5, 25)
+
+
+def _seeded_database():
+    rng = random.Random(24)
+
+    def distinct_rows(count):
+        rows = set()
+        while len(rows) < count:
+            rows.add(
+                (rng.randint(*VALUE_RANGE), rng.randint(*VALUE_RANGE))
+            )
+        return sorted(rows)
+
+    db = Database()
+    db.create_relation("r", ["A", "B"], distinct_rows(SEED_ROWS))
+    db.create_relation("s", ["C", "D"], distinct_rows(SEED_ROWS))
+    return db
+
+
+def _churn(db, txns, seed):
+    """Commit a seeded stream of mixed inserts and deletes."""
+    rng = random.Random(seed)
+    live = {name: set(db.relation(name).value_tuples()) for name in ("r", "s")}
+    for _ in range(txns):
+        with db.transact() as txn:
+            for _ in range(rng.randint(1, 4)):
+                name = rng.choice(["r", "r", "s"])
+                if live[name] and rng.random() < 0.3:
+                    row = rng.choice(sorted(live[name]))
+                    txn.delete(name, row)
+                    live[name].discard(row)
+                else:
+                    row = (
+                        rng.randint(*VALUE_RANGE),
+                        rng.randint(*VALUE_RANGE),
+                    )
+                    txn.insert(name, row)
+                    live[name].add(row)
+
+
+def _run_stream(use_codegen):
+    """One full maintenance run; returns (seconds, counters, contents,
+
+    codegen stats).  Identical seeds on both sides make the commit
+    streams — and therefore the work — byte-for-byte comparable.
+    """
+    best = None
+    for _ in range(REPEATS):
+        db = _seeded_database()
+        maintainer = ViewMaintainer(db, use_codegen=use_codegen)
+        for name, expression in VIEWS.items():
+            maintainer.define_view(name, expression)
+        recorder = CostRecorder()
+        start = time.perf_counter()
+        with recording(recorder):
+            _churn(db, TXNS, seed=7)
+        elapsed = time.perf_counter() - start
+        maintainer.verify_all()
+        contents = {
+            name: dict(maintainer.view(name).contents.counts())
+            for name in VIEWS
+        }
+        stats = maintainer.codegen_stats().as_dict()
+        if best is None or elapsed < best[0]:
+            best = (elapsed, recorder.snapshot(), contents, stats)
+    return best
+
+
+#: Counters the kernels charge in bulk; parity on these is the "same
+#: work, cheaper dispatch" claim.  Codegen-only counters are excluded.
+PARITY_COUNTERS = (
+    "tuples_scanned",
+    "join_probes",
+    "tuples_emitted",
+    "tuples_ignored",
+    "truth_table_rows",
+    "delta_rows_evaluated",
+    "subexpression_memo_hits",
+    "filter_tuples_checked",
+    "filter_ground_evals",
+    "filter_bound_probes",
+    "differential_updates",
+)
+
+
+def _record(entry):
+    trajectory = []
+    if TRAJECTORY.exists():
+        trajectory = json.loads(TRAJECTORY.read_text())
+    trajectory.append(entry)
+    TRAJECTORY.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def test_e24_codegen_ablation(report, benchmark):
+    compiled_s, compiled_counters, compiled_views, compiled_stats = (
+        _run_stream(use_codegen=True)
+    )
+    interp_s, interp_counters, interp_views, interp_stats = _run_stream(
+        use_codegen=False
+    )
+
+    # Byte-for-byte agreement: same view contents, same abstract work.
+    assert compiled_views == interp_views
+    for name in PARITY_COUNTERS:
+        assert compiled_counters.get(name, 0) == interp_counters.get(
+            name, 0
+        ), name
+
+    # The kernels actually ran (and the interpreter run never compiled).
+    assert compiled_stats["codegen_plans_compiled"] > 0
+    assert compiled_stats["codegen_batch_rows"] > 0
+    assert compiled_stats["codegen_fallback_tuples"] == 0
+    assert interp_stats["codegen_plans_compiled"] == 0
+    assert interp_stats["codegen_batch_rows"] == 0
+
+    speedup = interp_s / compiled_s if compiled_s else float("inf")
+    rows = [
+        [
+            "codegen",
+            f"{compiled_s * 1e3:.1f}",
+            compiled_counters.get("tuples_scanned", 0),
+            compiled_counters.get("truth_table_rows", 0),
+            compiled_stats["codegen_batch_rows"],
+        ],
+        [
+            "interpreter",
+            f"{interp_s * 1e3:.1f}",
+            interp_counters.get("tuples_scanned", 0),
+            interp_counters.get("truth_table_rows", 0),
+            interp_stats["codegen_batch_rows"],
+        ],
+    ]
+    report(
+        format_table(
+            [
+                "mode",
+                "stream ms",
+                "tuples scanned",
+                "tt rows",
+                "batch rows",
+            ],
+            rows,
+            title=(
+                f"E24  codegen ablation ({TXNS} txns, identical work, "
+                f"speedup {speedup:.2f}x)"
+            ),
+        )
+    )
+
+    # The headline claim — skipped in smoke runs, whose streams are too
+    # short for wall-clock to dominate noise.
+    if not SMOKE:
+        assert compiled_s < interp_s, (
+            f"codegen {compiled_s:.4f}s not faster than "
+            f"interpreter {interp_s:.4f}s"
+        )
+
+    if RECORD:
+        _record(
+            {
+                "experiment": "E24",
+                "date": date.today().isoformat(),
+                "smoke": SMOKE,
+                "txns": TXNS,
+                "codegen_ms": round(compiled_s * 1e3, 2),
+                "interpreter_ms": round(interp_s * 1e3, 2),
+                "speedup": round(speedup, 3),
+                "codegen": compiled_stats,
+                "parity_counters": {
+                    name: compiled_counters.get(name, 0)
+                    for name in PARITY_COUNTERS
+                },
+            }
+        )
+
+    # One micro-benchmark sample: a single relevant commit maintained
+    # through the generated kernels.
+    bench_db = _seeded_database()
+    bench_maintainer = ViewMaintainer(bench_db, use_codegen=True)
+    for name, expression in VIEWS.items():
+        bench_maintainer.define_view(name, expression)
+    bench_rng = random.Random(1)
+
+    def commit_once():
+        with bench_db.transact() as txn:
+            txn.insert(
+                "r",
+                (bench_rng.randint(*VALUE_RANGE), bench_rng.randint(*VALUE_RANGE)),
+            )
+
+    benchmark(commit_once)

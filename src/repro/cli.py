@@ -83,6 +83,8 @@ Shell commands::
                                 -- the compiled maintenance plan: the
                                    invariant/variant screening split,
                                    join order, and index bindings
+    explain <view> source       -- the generated kernel source the
+                                   plan executes (docs/codegen.md)
     recommend indexes <view>    -- indexes the planner would probe
     create index on <rel> (<attr>, ...)
     drop index on <rel> (<attr>, ...)
@@ -187,6 +189,10 @@ class Shell:
                 f"backlog_{k}: {v}"
                 for k, v in self.maintainer.backlog(name).items()
             )
+            lines.extend(
+                f"{k}: {v}"
+                for k, v in self.maintainer.codegen_stats().as_dict().items()
+            )
             verdict = self.maintainer.self_maintainability(name)
             lines.append(
                 f"self_maintainable: {str(verdict.self_maintainable).lower()}"
@@ -220,11 +226,17 @@ class Shell:
                 return f"dropped index on {match.group(1)}({', '.join(attrs)})"
             return f"no index on {match.group(1)}({', '.join(attrs)})"
         if lowered.startswith("explain "):
+            match = re.match(r"explain\s+(\w+)\s+source\s*$", line, re.IGNORECASE)
+            if match:
+                return self.maintainer.kernel_source(match.group(1))
             match = re.match(
                 r"explain\s+(\w+)\s+changing\s+(.*)$", line, re.IGNORECASE
             )
             if not match:
-                raise ShellError("usage: explain <view> changing <rel>[, <rel>]*")
+                raise ShellError(
+                    "usage: explain <view> changing <rel>[, <rel>]* "
+                    "| explain <view> source"
+                )
             relations = [
                 r.strip() for r in match.group(2).split(",") if r.strip()
             ]
@@ -620,7 +632,10 @@ def run_serve_cluster(
 
 
 def run_analyze(
-    paths: list[str], as_json: bool = False, emit=print
+    paths: list[str],
+    as_json: bool = False,
+    show_source: bool = False,
+    emit=print,
 ) -> int:
     """The ``analyze`` verb; returns the process exit code.
 
@@ -629,7 +644,9 @@ def run_analyze(
     ``create view`` lines.  One shell executes all files in order, so
     views may reference tables, constraints and views from earlier
     files; the analyzer then runs once over the combined catalog.
-    Exit code 1 means at least one ERROR-level finding.
+    ``show_source`` appends each registered view's generated kernel
+    source after the findings (docs/codegen.md).  Exit code 1 means at
+    least one ERROR-level finding.
     """
     shell = Shell()
     for path in paths:
@@ -648,6 +665,10 @@ def run_analyze(
                 raise ShellError(f"{path}:{number}: {exc}") from exc
     report = shell.maintainer.analyze()
     emit(report.as_json() if as_json else report.format())
+    if show_source:
+        for name in sorted(shell.maintainer.view_names()):
+            emit(f"-- kernel source for view {name!r} --")
+            emit(shell.maintainer.kernel_source(name))
     return 1 if report.has_errors else 0
 
 
@@ -663,13 +684,17 @@ def run_simulate(
     ddl: bool = True,
     corruption: bool = False,
     trace: bool = False,
+    use_codegen: bool = True,
     emit=print,
 ) -> int:
     """The ``simulate`` verb; returns the process exit code.
 
     Output is a pure function of the arguments (the harness owns all
     randomness and time), so piping two runs with the same seed through
-    ``diff`` is itself a determinism test.
+    ``diff`` is itself a determinism test.  ``use_codegen=False``
+    (``--interpreter``) pins every copy to the per-tuple interpreter —
+    the oracle rounds then certify the ablation baseline the generated
+    kernels are checked against.
     """
     from repro.simulation import SimulationConfig, run_simulation
 
@@ -684,6 +709,7 @@ def run_simulate(
         partitions=partitions,
         ddl=ddl,
         corruption=corruption,
+        use_codegen=use_codegen,
     )
     report = run_simulation(config)
     emit(report.format())
@@ -973,6 +999,13 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", action="store_true", help="print every episode's full trace"
     )
     simulate_parser.add_argument(
+        "--interpreter", action="store_true",
+        help=(
+            "maintain every copy with the per-tuple interpreter instead "
+            "of the generated batch kernels (docs/codegen.md ablation)"
+        ),
+    )
+    simulate_parser.add_argument(
         "--sharded", action="store_true",
         help="run the sharded-cluster harness instead (docs/cluster.md)",
     )
@@ -1021,6 +1054,10 @@ def main(argv: list[str] | None = None) -> int:
     analyze_parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
+    analyze_parser.add_argument(
+        "--source", action="store_true",
+        help="also print each view's generated kernel source",
+    )
     options = parser.parse_args(argv)
 
     try:
@@ -1054,6 +1091,7 @@ def main(argv: list[str] | None = None) -> int:
                 ddl=not options.no_ddl,
                 corruption=options.corruption,
                 trace=options.trace,
+                use_codegen=not options.interpreter,
             )
         if options.command == "monitor":
             return run_monitor(
@@ -1063,7 +1101,11 @@ def main(argv: list[str] | None = None) -> int:
                 html_path=options.html_path,
             )
         if options.command == "analyze":
-            return run_analyze(options.files, as_json=options.json)
+            return run_analyze(
+                options.files,
+                as_json=options.json,
+                show_source=options.source,
+            )
         if options.command == "serve":
             return run_serve(
                 options.directory,

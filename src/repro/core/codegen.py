@@ -1,0 +1,903 @@
+"""Generated batch kernels for the maintenance hot path.
+
+The interpreter in :mod:`repro.core.planner` and
+:mod:`repro.core.irrelevance` re-dispatches per tuple: every screened
+tuple walks condition ASTs, every joined tuple goes through generic
+step objects and closure predicates.  Algorithm 4.1 already amortizes
+the *planning* work (invariant split, APSP) once per batch; this module
+finishes the job in the DBToaster tradition by amortizing the
+*dispatch* as well — at plan-compile time each
+:class:`~repro.core.compiled.CompiledViewPlan` emits straight-line
+Python source, ``compile()``s it once, and thereafter every transaction
+runs the generated closures over whole batches:
+
+* **screen kernels** — one per (view, relation-occurrence set): the
+  Definition 4.2 invariant/variant split evaluated over a columnar
+  :class:`DeltaBatch`, with the invariant APSP distances baked into the
+  source as integer literals and the variant bounds unrolled into
+  ``min``/``max`` expressions plus the O(B²) negative-cycle probes;
+* **row kernels** — one per truth-table shape: the Section 5.3 rows
+  unrolled into a prefix-sharing trie of hash-join loops, with
+  equality-link keys, pre/post-filters and the paper's tag algebra all
+  inlined (``insert ⊗ delete`` pairs dropped in-loop);
+* **apply kernels** — one per shape: the final DNF re-check,
+  projection and Section 5.2 multiplicity-counter folding into plain
+  ``dict`` accumulators, collapsed to a net view delta by
+  :func:`repro.core.counting.net_counts`.
+
+Generated source is a pure function of the plan structure — no
+timestamps, no ids, no dict-order dependence — so two compiles of the
+same plan emit byte-identical text (the CLI's ``explain <view> source``
+determinism check).  Every kernel preserves the interpreter's
+instrumentation counters exactly (charged in bulk by the drivers), and
+the ``use_codegen=False`` ablation keeps the interpreter as the oracle:
+both paths must agree byte-for-byte on every view state.
+
+Fallback rules: a shape whose truth table would unroll past
+:data:`MAX_CODEGEN_ROWS` rows (or a view past
+:data:`MAX_CODEGEN_OPERANDS` occurrences) is executed by the
+interpreter instead, charging ``codegen_fallback_tuples``; results are
+identical either way.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.algebra.conditions import Atom, Condition, Var
+from repro.algebra.relation import Delta
+from repro.algebra.schema import RelationSchema
+from repro.algebra.tags import Tag
+from repro.core.graph import INF, ZERO
+from repro.core.truthtable import DeltaRowChoice, Rows
+from repro.errors import MaintenanceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.algebra.expressions import NormalForm
+    from repro.core.irrelevance import RelevanceFilter
+    from repro.core.planner import RowPlanner
+
+ValueTuple = tuple[int, ...]
+
+#: Bumped whenever the shape of the generated source changes; part of
+#: the plan fingerprint so a cached plan compiled by an older generator
+#: can never be served to a newer runtime (and so toggling
+#: ``use_codegen`` evicts, rather than reuses, cached plans).
+CODEGEN_VERSION = 1
+
+#: Views with more occurrences than this fall back to the interpreter
+#: wholesale (the unrolled trie would be enormous and cold).
+MAX_CODEGEN_OPERANDS = 8
+
+#: Shapes whose truth table exceeds this many rows fall back too.
+MAX_CODEGEN_ROWS = 64
+
+_PY_OPS = {"=": "==", "<": "<", ">": ">", "<=": "<=", ">=": ">="}
+
+
+def plan_fingerprint(normal_form: "NormalForm", use_codegen: bool) -> tuple:
+    """The cache identity of a compiled plan.
+
+    Extends the definition's structural fingerprint with the executable
+    format: generated kernels are tagged with :data:`CODEGEN_VERSION`,
+    interpreter plans with a distinct marker.  The plan cache compares
+    this on every ``get``, so flipping ``use_codegen`` (or upgrading the
+    generator) evicts stale plans instead of executing them.
+    """
+    base = normal_form.fingerprint()
+    if use_codegen:
+        return (base, ("codegen", CODEGEN_VERSION))
+    return (base, ("interpreter",))
+
+
+class CodegenStats:
+    """Cumulative codegen counters for one maintainer.
+
+    Mirrors the ``codegen_*`` instrumentation family (see
+    :mod:`repro.instrumentation`) so the CLI ``stats`` command and the
+    server ``stats`` op can report them without an active recorder.
+    """
+
+    __slots__ = ("plans_compiled", "batch_rows", "fallback_tuples")
+
+    def __init__(self) -> None:
+        self.plans_compiled = 0
+        self.batch_rows = 0
+        self.fallback_tuples = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "codegen_plans_compiled": self.plans_compiled,
+            "codegen_batch_rows": self.batch_rows,
+            "codegen_fallback_tuples": self.fallback_tuples,
+        }
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"<CodegenStats {inner}>"
+
+
+# ----------------------------------------------------------------------
+# DeltaBatch: the columnar screen()-boundary representation
+# ----------------------------------------------------------------------
+
+class DeltaBatch:
+    """One relation's net delta in columnar (struct-of-arrays) layout.
+
+    ``columns[j][i]`` is attribute ``j`` of slot ``i``; the first
+    :attr:`n_inserted` slots are the delta's inserts (in dict order),
+    the rest its deletes.  Screen kernels loop over slot indices and
+    index columns directly — no per-tuple dict, no ``Row`` views —
+    while :attr:`rows` keeps the original encoded tuples so a filtered
+    :class:`~repro.algebra.relation.Delta` is rebuilt without decoding.
+    """
+
+    __slots__ = ("schema", "rows", "counts", "columns", "n_inserted")
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+        self.rows: list[ValueTuple] = []
+        self.counts: list[int] = []
+        self.columns: list[list[int]] = [[] for _ in schema.names]
+        self.n_inserted = 0
+
+    @classmethod
+    def from_delta(cls, delta: Delta) -> "DeltaBatch":
+        """Transpose one delta into columns (inserts first, then deletes)."""
+        batch = cls(delta.schema)
+        rows = batch.rows
+        counts = batch.counts
+        columns = batch.columns
+        width = len(columns)
+        for values, count in delta.inserted.items():
+            rows.append(values)
+            counts.append(count)
+            for j in range(width):
+                columns[j].append(values[j])
+        batch.n_inserted = len(rows)
+        for values, count in delta.deleted.items():
+            rows.append(values)
+            counts.append(count)
+            for j in range(width):
+                columns[j].append(values[j])
+        return batch
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_delta(self, mask: bytearray) -> Delta:
+        """The sub-delta of slots whose ``mask`` byte is set."""
+        inserted: dict[ValueTuple, int] = {}
+        deleted: dict[ValueTuple, int] = {}
+        rows = self.rows
+        counts = self.counts
+        split = self.n_inserted
+        for i in range(split):
+            if mask[i]:
+                inserted[rows[i]] = counts[i]
+        for i in range(split, len(rows)):
+            if mask[i]:
+                deleted[rows[i]] = counts[i]
+        return Delta.from_counts(self.schema, inserted, deleted)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DeltaBatch {list(self.schema.names)} {len(self.rows)} slots "
+            f"({self.n_inserted} inserts)>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Source-emission helpers
+# ----------------------------------------------------------------------
+
+class _Emitter:
+    """Tiny indented-source builder."""
+
+    __slots__ = ("lines", "indent")
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.indent = 0
+
+    def emit(self, line: str = "") -> None:
+        if line:
+            self.lines.append("    " * self.indent + line)
+        else:
+            self.lines.append("")
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _atom_expr(atom: Atom, index_of: Callable[[str], int], var: str) -> str:
+    """One atom as a Python expression over indexable row ``var``.
+
+    ``index_of`` resolves a variable name to a tuple/column position.
+    Canonicalization guarantees a non-ground atom's left term is a
+    variable; ground atoms are folded by the planner before this point.
+    """
+    if atom.is_ground():
+        return "True" if atom.truth_value() else "False"
+    assert isinstance(atom.left, Var)
+    left = f"{var}[{index_of(atom.left.name)}]"
+    op = _PY_OPS[atom.op]
+    if isinstance(atom.right, Var):
+        right = f"{var}[{index_of(atom.right.name)}]"
+        if atom.offset:
+            right = f"{right} + {atom.offset}" if atom.offset > 0 else (
+                f"{right} - {-atom.offset}"
+            )
+    else:
+        right = str(atom.right.value + atom.offset)
+    return f"{left} {op} {right}"
+
+
+def _conjunction_expr(
+    atoms: Sequence[Atom], index_of: Callable[[str], int], var: str
+) -> str:
+    if not atoms:
+        return "True"
+    return " and ".join(f"({_atom_expr(a, index_of, var)})" for a in atoms)
+
+
+def _condition_expr(
+    condition: Condition, index_of: Callable[[str], int], var: str
+) -> str:
+    """A DNF condition as one Python expression over row ``var``."""
+    if condition.is_true():
+        return "True"
+    if condition.is_false():
+        return "False"
+    return " or ".join(
+        f"({_conjunction_expr(d.atoms, index_of, var)})"
+        for d in condition.disjuncts
+    )
+
+
+# ----------------------------------------------------------------------
+# Screen kernels (Section 4 over a DeltaBatch)
+# ----------------------------------------------------------------------
+
+def generate_screen_source(
+    relation_name: str,
+    relevance_filter: "RelevanceFilter",
+    schema: RelationSchema,
+    statically_irrelevant: bool = False,
+) -> str:
+    """Emit the batch screen kernel for one participating relation.
+
+    The generated ``screen_kernel(cols, n, mask)`` marks relevant slots
+    in ``mask`` and returns ``(ground_evals, bound_probes)`` so the
+    driver can charge the interpreter's per-tuple counters in bulk.
+    Structure per slot, mirroring ``RelevanceFilter._decide`` exactly:
+    one block per live (occurrence, disjunct) screen, variant-evaluable
+    atoms as nested short-circuit tests, variant bounds as ``min``/
+    ``max`` folds, and the negative-cycle probe pairs unrolled with the
+    invariant APSP distances baked in as integer literals (pairs whose
+    invariant path is unreachable are omitted at generation time).
+    """
+    out = _Emitter()
+    out.emit(f"# screen kernel: relation {relation_name!r}")
+    if statically_irrelevant:
+        # The Theorem 4.1 static proof is baked into the source: the
+        # kernel body is the proof's conclusion.  Constraint DDL
+        # invalidates the whole plan, regenerating this file.
+        out.emit("# statically irrelevant under the declared constraint:")
+        out.emit("# every legal update is dropped with no per-tuple work")
+        out.emit("def screen_kernel(cols, n, mask):")
+        out.indent += 1
+        out.emit("return 0, 0")
+        return out.source()
+    if relevance_filter._always_relevant:
+        out.emit("# condition has an empty disjunct (constant TRUE):")
+        out.emit("# every update is relevant, no screening possible")
+        out.emit("def screen_kernel(cols, n, mask):")
+        out.indent += 1
+        out.emit("for i in range(n):")
+        out.indent += 1
+        out.emit("mask[i] = 1")
+        out.indent -= 1
+        out.emit("return 0, 0")
+        return out.source()
+
+    screens = relevance_filter._screens
+    out.emit("def screen_kernel(cols, n, mask):")
+    out.indent += 1
+    if not screens:
+        out.emit("# every disjunct's invariant part is unsatisfiable:")
+        out.emit("# all updates screened out")
+        out.emit("return 0, 0")
+        return out.source()
+
+    used_columns = sorted(
+        {
+            schema.index(screen.occurrence.inverse[name])
+            for screen in screens
+            for atom in (
+                screen.variant_evaluable + screen.variant_non_evaluable
+            )
+            for name in atom.variables()
+            if name in screen.occurrence.inverse
+        }
+    )
+    for j in used_columns:
+        out.emit(f"c{j} = cols[{j}]")
+    out.emit("ge = 0")
+    out.emit("bp = 0")
+    out.emit("for i in range(n):")
+    out.indent += 1
+    base_indent = out.indent
+    for screen_index, screen in enumerate(screens):
+        occurrence = screen.occurrence
+        out.indent = base_indent
+        out.emit(
+            f"# screen {screen_index}: occurrence "
+            f"{occurrence.name}#{occurrence.position}"
+        )
+
+        def col_expr(qualified: str, _occ=occurrence) -> str:
+            return f"c{schema.index(_occ.inverse[qualified])}[i]"
+
+        # Variant evaluable atoms: nested short-circuit so the per-atom
+        # ground-eval counter matches the interpreter's early exit.
+        for atom in screen.variant_evaluable:
+            expr = _substituted_ground_expr(atom, col_expr)
+            out.emit("ge += 1")
+            out.emit(f"if {expr}:")
+            out.indent += 1
+        out.emit("bp += 1")
+        probes = _bound_probe_exprs(screen, col_expr, out)
+        if probes:
+            joined = " or ".join(probes)
+            out.emit(f"if not ({joined}):")
+            out.indent += 1
+        out.emit("mask[i] = 1")
+        out.emit("continue")
+    out.indent = base_indent - 1
+    out.emit("return ge, bp")
+    return out.source()
+
+
+def _substituted_ground_expr(
+    atom: Atom, col_expr: Callable[[str], str]
+) -> str:
+    """A variant-evaluable atom as an expression over column slots."""
+    op = _PY_OPS[atom.op]
+    assert isinstance(atom.left, Var)
+    left = col_expr(atom.left.name)
+    if isinstance(atom.right, Var):
+        right = col_expr(atom.right.name)
+        if atom.offset > 0:
+            right = f"{right} + {atom.offset}"
+        elif atom.offset < 0:
+            right = f"{right} - {-atom.offset}"
+    else:
+        right = str(atom.right.value + atom.offset)
+    return f"{left} {op} {right}"
+
+
+def _bound_probe_exprs(
+    screen, col_expr: Callable[[str], str], out: _Emitter
+) -> list[str]:
+    """Emit tightest-bound folds; return the negative-cycle probe exprs.
+
+    Reproduces ``_DisjunctScreen.admits``: each variant non-evaluable
+    atom contributes an upper (``x ≤ e``) or lower (``x ≥ e``) bound
+    whose constant is a column expression; discrete-domain
+    normalization (``<`` → ``≤ e−1``, ``>`` → ``≥ e+1``, ``=`` → both)
+    is applied symbolically here, and the probe pairs are unrolled with
+    the APSP entries as literals.
+    """
+    uppers: dict[str, list[str]] = {}
+    lowers: dict[str, list[str]] = {}
+    order: list[str] = []
+    for atom in screen.variant_non_evaluable:
+        assert isinstance(atom.left, Var) and isinstance(atom.right, Var)
+        x, y = atom.left.name, atom.right.name
+        substituted_left = _is_substituted(screen, x)
+        if substituted_left:
+            # Const(vx) op y + c mirrors to y mirror(op) (vx - c).
+            free = y
+            op = {"=": "=", "<": ">", ">": "<", "<=": ">=", ">=": "<="}[
+                atom.op
+            ]
+            base = col_expr(x)
+            shift = -atom.offset
+        else:
+            free = x
+            op = atom.op
+            base = col_expr(y)
+            shift = atom.offset
+        if free not in order:
+            order.append(free)
+        if op in ("<=", "<"):
+            expr = _shifted(base, shift - (1 if op == "<" else 0))
+            uppers.setdefault(free, []).append(expr)
+        elif op in (">=", ">"):
+            expr = _shifted(base, shift + (1 if op == ">" else 0))
+            lowers.setdefault(free, []).append(expr)
+        else:  # "=": both bounds
+            uppers.setdefault(free, []).append(_shifted(base, shift))
+            lowers.setdefault(free, []).append(_shifted(base, shift))
+
+    lower_items: list[tuple[str, str]] = []
+    upper_items: list[tuple[str, str]] = []
+    for var_index, free in enumerate(order):
+        if free in lowers:
+            name = f"l{var_index}"
+            out.emit(f"{name} = {_fold('max', lowers[free])}")
+            lower_items.append((free, name))
+        if free in uppers:
+            name = f"u{var_index}"
+            out.emit(f"{name} = {_fold('min', uppers[free])}")
+            upper_items.append((free, name))
+    lower_items.append((ZERO, "0"))
+    upper_items.append((ZERO, "0"))
+
+    dist = screen.dist
+    probes: list[str] = []
+    for y, cl in lower_items:
+        for x, cu in upper_items:
+            if y == ZERO and x == ZERO:
+                continue
+            path = dist[y][x]
+            if path == INF:
+                continue
+            probes.append(f"(-({cl}) + {int(path)} + {cu} < 0)")
+    return probes
+
+
+def _is_substituted(screen, name: str) -> bool:
+    return name in screen.occurrence.inverse
+
+
+def _shifted(base: str, shift: int) -> str:
+    if shift > 0:
+        return f"{base} + {shift}"
+    if shift < 0:
+        return f"{base} - {-shift}"
+    return base
+
+
+def _fold(func: str, exprs: list[str]) -> str:
+    if len(exprs) == 1:
+        return exprs[0]
+    return f"{func}({', '.join(exprs)})"
+
+
+# ----------------------------------------------------------------------
+# Row + apply kernels (Section 5.3 over one truth-table shape)
+# ----------------------------------------------------------------------
+
+def codegen_rows(
+    num_operands: int, changed_positions: Sequence[int]
+) -> list[Rows]:
+    """The rows :func:`~repro.core.truthtable.enumerate_delta_rows`
+    yields, computed without charging ``truth_table_rows``.
+
+    Kernel generation happens once per shape; the per-execution charge
+    is applied in bulk by the kernel driver so the counter stays
+    execution-proportional, exactly like the interpreter's.
+    """
+    changed = sorted(set(changed_positions))
+    rows: list[Rows] = []
+    for bits in product(
+        (DeltaRowChoice.OLD, DeltaRowChoice.DELTA), repeat=len(changed)
+    ):
+        if all(b is DeltaRowChoice.OLD for b in bits):
+            continue
+        row = [DeltaRowChoice.OLD] * num_operands
+        for position, bit in zip(changed, bits):
+            row[position] = bit
+        rows.append(tuple(row))
+    return rows
+
+
+def generate_shape_source(planner: "RowPlanner", rows: Sequence[Rows]) -> str:
+    """Emit the row kernel + apply kernel for one truth-table shape.
+
+    The row kernel unrolls the planner's prefix-sharing trie: one named
+    list per distinct (row-prefix × choice) node when sharing is on,
+    one per (row, step) when the E13 ablation turns sharing off.  Hash
+    tables stay shared per (step, choice) either way — mirroring the
+    interpreter's ``hash_cache`` — and are built lazily behind a
+    ``None`` guard so an OLD operand answered by an index probe (or
+    never reached because its accumulator is empty) is never
+    materialized.  The apply kernel folds each completed row through
+    the final DNF re-check, the projection and the Section 5.2 counter
+    accumulators.
+    """
+    nf = planner.normal_form
+    steps = planner.steps
+    out = _Emitter()
+    names = [occ.name for occ in nf.occurrences]
+    out.emit(
+        "# row kernel: shape "
+        + repr(tuple(names[i] for i in planner.changed))
+        + f" of view over {names!r}"
+    )
+    out.emit(
+        "# order (delta-first): "
+        + " -> ".join(names[step.position] for step in steps)
+    )
+
+    _emit_apply_kernel(out, planner)
+    out.emit()
+    out.emit("def row_kernel(operands, probe_for):")
+    out.indent += 1
+    out.emit("ins = {}")
+    out.emit("dele = {}")
+    if planner.always_empty:
+        out.emit("# a shared ground atom is false: no row can contribute")
+        out.emit("return ins, dele, 0, 0, 0, 0")
+        return out.source()
+    out.emit("ts = 0")
+    out.emit("jp = 0")
+    out.emit("te = 0")
+    out.emit("ti = 0")
+
+    hash_nodes: set[tuple[int, DeltaRowChoice]] = set()
+    plans: list[list[tuple[str, str, int, DeltaRowChoice]]] = []
+    emitted: set[str] = set()
+    for row_index, row in enumerate(rows):
+        chain: list[tuple[str, str, int, DeltaRowChoice]] = []
+        sig = ""
+        parent = ""
+        for j, step in enumerate(steps):
+            choice = row[step.position]
+            sig += "D" if choice is DeltaRowChoice.DELTA else "O"
+            if planner.share:
+                node = f"n_{sig}"
+            else:
+                node = f"n_r{row_index}_{j}"
+            chain.append((node, parent, j, choice))
+            parent = node
+        plans.append(chain)
+        for node, _, j, choice in chain:
+            if node in emitted:
+                continue
+            # The hash-table path may be taken by any node that is not
+            # guaranteed an index probe — i.e. every node.
+            hash_nodes.add((j, choice))
+            emitted.add(node)
+
+    for j, choice in sorted(
+        hash_nodes, key=lambda item: (item[0], item[1].value)
+    ):
+        out.emit(f"h_{j}_{choice.name} = None")
+
+    emitted.clear()
+    for row_index, chain in enumerate(plans):
+        out.emit(f"# row {row_index}: " + _render_sig(chain, steps, names))
+        for node, parent, j, choice in chain:
+            if node not in emitted:
+                if j == 0:
+                    _emit_first_operand(out, planner, node, choice)
+                else:
+                    _emit_join_node(out, planner, node, parent, j, choice)
+                emitted.add(node)
+        out.emit(f"apply_kernel({chain[-1][0]}, ins, dele)")
+    out.emit("return ins, dele, ts, jp, te, ti")
+    return out.source()
+
+
+def _render_sig(chain, steps, names) -> str:
+    parts = []
+    for _, _, j, choice in chain:
+        name = names[steps[j].position]
+        parts.append(name if choice is DeltaRowChoice.OLD else f"i_{name}")
+    return " * ".join(parts)
+
+
+def _emit_apply_kernel(out: _Emitter, planner: "RowPlanner") -> None:
+    final_schema = planner.final_schema
+    positions = planner.projection_positions
+    key = "(" + ", ".join(f"v[{p}]" for p in positions) + ("," if len(positions) == 1 else "") + ")"
+    out.emit("def apply_kernel(rows, ins, dele):")
+    out.indent += 1
+    out.emit("for v, t, c in rows:")
+    out.indent += 1
+    if planner.needs_final_filter:
+        expr = _condition_expr(
+            planner.normal_form.condition, final_schema.index, "v"
+        )
+        out.emit(f"if not ({expr}):")
+        out.indent += 1
+        out.emit("continue")
+        out.indent -= 1
+    out.emit(f"k = {key}")
+    out.emit("if t is T_I:")
+    out.indent += 1
+    out.emit("ins[k] = ins.get(k, 0) + c")
+    out.indent -= 1
+    out.emit("elif t is T_D:")
+    out.indent += 1
+    out.emit("dele[k] = dele.get(k, 0) + c")
+    out.indent -= 2
+    out.indent -= 1
+
+
+def _emit_first_operand(
+    out: _Emitter, planner: "RowPlanner", node: str, choice: DeltaRowChoice
+) -> None:
+    step = planner.steps[0]
+    out.emit(
+        f"src = operands[{step.position}][C_{choice.name}]._counts"
+    )
+    out.emit("ts += len(src)")
+    prefilter = _prefilter_expr(step, "bv")
+    if prefilter is None:
+        out.emit(f"{node} = [(bv, bt, bc) for (bv, bt), bc in src.items()]")
+        return
+    out.emit(f"{node} = []")
+    out.emit(f"{node}_append = {node}.append")
+    out.emit("for (bv, bt), bc in src.items():")
+    out.indent += 1
+    out.emit(f"if {prefilter}:")
+    out.indent += 1
+    out.emit(f"{node}_append((bv, bt, bc))")
+    out.indent -= 2
+
+
+def _emit_join_node(
+    out: _Emitter,
+    planner: "RowPlanner",
+    node: str,
+    parent: str,
+    j: int,
+    choice: DeltaRowChoice,
+) -> None:
+    step = planner.steps[j]
+    key_expr = _probe_key_expr(step)
+    out.emit(f"{node} = []")
+    out.emit(f"if {parent}:")
+    out.indent += 1
+    out.emit(f"{node}_append = {node}.append")
+    use_probe = choice is DeltaRowChoice.OLD and bool(step.link_attr_names)
+    if use_probe:
+        out.emit(f"p = probe_for({j})")
+        out.emit("if p is not None:")
+        out.indent += 1
+        _emit_probe_loop(out, planner, node, parent, j, key_expr)
+        out.indent -= 1
+        out.emit("else:")
+        out.indent += 1
+        _emit_hash_join(out, planner, node, parent, j, choice, key_expr)
+        out.indent -= 1
+    else:
+        _emit_hash_join(out, planner, node, parent, j, choice, key_expr)
+    out.indent -= 1
+
+
+def _emit_probe_loop(
+    out: _Emitter, planner: "RowPlanner", node: str, parent: str, j: int,
+    key_expr: str,
+) -> None:
+    step = planner.steps[j]
+    prefilter = _prefilter_expr(step, "bv")
+    out.emit(f"for av, at, ac in {parent}:")
+    out.indent += 1
+    out.emit("jp += 1")
+    out.emit(f"k = {key_expr}")
+    out.emit("for bv, bt, bc in p(k):")
+    out.indent += 1
+    if prefilter is not None:
+        out.emit(f"if not ({prefilter}):")
+        out.indent += 1
+        out.emit("continue")
+        out.indent -= 1
+    _emit_combine_emit(out, planner, node, j)
+    out.indent -= 2
+
+
+def _emit_hash_join(
+    out: _Emitter,
+    planner: "RowPlanner",
+    node: str,
+    parent: str,
+    j: int,
+    choice: DeltaRowChoice,
+    key_expr: str,
+) -> None:
+    step = planner.steps[j]
+    table = f"h_{j}_{choice.name}"
+    prefilter = _prefilter_expr(step, "bv")
+    key_positions = step.operand_key_positions
+    build_key = (
+        "("
+        + ", ".join(f"bv[{p}]" for p in key_positions)
+        + ("," if len(key_positions) == 1 else "")
+        + ")"
+    )
+    out.emit(f"if {table} is None:")
+    out.indent += 1
+    out.emit(f"{table} = {{}}")
+    out.emit(f"src = operands[{step.position}][C_{choice.name}]._counts")
+    out.emit("ts += len(src)")
+    out.emit("for (bv, bt), bc in src.items():")
+    out.indent += 1
+    if prefilter is not None:
+        out.emit(f"if not ({prefilter}):")
+        out.indent += 1
+        out.emit("continue")
+        out.indent -= 1
+    out.emit(f"bk = {build_key}")
+    out.emit(f"bucket = {table}.get(bk)")
+    out.emit("if bucket is None:")
+    out.indent += 1
+    out.emit(f"{table}[bk] = [(bv, bt, bc)]")
+    out.indent -= 1
+    out.emit("else:")
+    out.indent += 1
+    out.emit("bucket.append((bv, bt, bc))")
+    out.indent -= 2
+    out.indent -= 1
+    out.emit(f"for av, at, ac in {parent}:")
+    out.indent += 1
+    out.emit("jp += 1")
+    out.emit(f"k = {key_expr}")
+    out.emit(f"bucket = {table}.get(k)")
+    out.emit("if bucket is not None:")
+    out.indent += 1
+    out.emit("for bv, bt, bc in bucket:")
+    out.indent += 1
+    _emit_combine_emit(out, planner, node, j)
+    out.indent -= 3
+
+
+def _emit_combine_emit(
+    out: _Emitter, planner: "RowPlanner", node: str, j: int
+) -> None:
+    """Tag algebra + postfilter + emit, shared by both join paths."""
+    step = planner.steps[j]
+    out.emit("if at is T_O:")
+    out.indent += 1
+    out.emit("t = bt")
+    out.indent -= 1
+    out.emit("elif bt is T_O:")
+    out.indent += 1
+    out.emit("t = at")
+    out.indent -= 1
+    out.emit("elif at is bt:")
+    out.indent += 1
+    out.emit("t = at")
+    out.indent -= 1
+    out.emit("else:")
+    out.indent += 1
+    out.emit("ti += 1")
+    out.emit("continue")
+    out.indent -= 1
+    out.emit("rv = av + bv")
+    postfilter = _postfilter_expr(step, "rv")
+    if postfilter is not None:
+        out.emit(f"if not ({postfilter}):")
+        out.indent += 1
+        out.emit("continue")
+        out.indent -= 1
+    out.emit("te += 1")
+    out.emit(f"{node}_append((rv, t, ac * bc))")
+
+
+def _probe_key_expr(step) -> str:
+    parts = []
+    for pos, _, shift in step.eq_links:
+        parts.append(_shifted(f"av[{pos}]", shift))
+    return "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+
+
+def _prefilter_expr(step, var: str) -> Optional[str]:
+    atoms = step.prefilter_atoms
+    if not atoms:
+        return None
+    return _conjunction_expr(atoms, step.operand_schema.index, var)
+
+
+def _postfilter_expr(step, var: str) -> Optional[str]:
+    atoms = step.postfilter_atoms
+    if not atoms:
+        return None
+    return _conjunction_expr(atoms, step.acc_schema.index, var)
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+
+#: Constants available to every generated kernel.  This is the entire
+#: ambient namespace — generated source may not reach anything else,
+#: which is what keeps kernels deterministic and side-effect-free.
+_KERNEL_GLOBALS = {
+    "__builtins__": {
+        "len": len,
+        "range": range,
+        "min": min,
+        "max": max,
+    },
+    "T_O": Tag.OLD,
+    "T_I": Tag.INSERT,
+    "T_D": Tag.DELETE,
+    "C_OLD": DeltaRowChoice.OLD,
+    "C_DELTA": DeltaRowChoice.DELTA,
+}
+
+ScreenKernel = Callable[[list, int, bytearray], tuple[int, int]]
+RowKernel = Callable[..., tuple[dict, dict, int, int, int, int]]
+
+
+def compile_kernel(source: str, name: str, filename: str) -> Callable:
+    """``compile()`` + ``exec`` one generated module; return ``name``.
+
+    ``filename`` shows up in tracebacks (``<codegen:view:kind>``) so a
+    bug in generated code is attributable to its generator.
+    """
+    namespace: dict = dict(_KERNEL_GLOBALS)
+    try:
+        code = compile(source, filename, "exec")
+        exec(code, namespace)  # noqa: S102 - the codegen seam
+    except SyntaxError as exc:  # pragma: no cover - generator bug
+        raise MaintenanceError(
+            f"generated kernel {filename} failed to compile: {exc}\n{source}"
+        ) from exc
+    kernel = namespace.get(name)
+    if kernel is None:  # pragma: no cover - generator bug
+        raise MaintenanceError(
+            f"generated module {filename} defines no {name!r}"
+        )
+    return kernel
+
+
+class ShapeKernels:
+    """The compiled row + apply kernels for one truth-table shape."""
+
+    __slots__ = ("source", "row_kernel", "rows_evaluated", "memo_hits")
+
+    def __init__(
+        self,
+        source: str,
+        row_kernel: RowKernel,
+        rows_evaluated: int,
+        memo_hits: int,
+    ) -> None:
+        self.source = source
+        self.row_kernel = row_kernel
+        #: Rows this shape charges per execution (0 when the planner is
+        #: statically empty, mirroring the interpreter's early return).
+        self.rows_evaluated = rows_evaluated
+        #: ``subexpression_memo_hits`` the interpreter would charge per
+        #: execution.  The memo holds every prefix of each evaluated
+        #: row, so a row scores exactly one hit iff its first-step
+        #: choice appeared in an earlier row — a compile-time constant
+        #: of the shape (0 with sharing off or a statically empty plan).
+        self.memo_hits = memo_hits
+
+    def __repr__(self) -> str:
+        return f"<ShapeKernels {self.rows_evaluated} rows>"
+
+
+def compile_shape_kernels(
+    planner: "RowPlanner", view_name: str
+) -> ShapeKernels | None:
+    """Generate + compile one shape's kernels; None triggers fallback."""
+    nf = planner.normal_form
+    if len(nf.occurrences) > MAX_CODEGEN_OPERANDS:
+        return None
+    rows = codegen_rows(len(nf.occurrences), planner.changed)
+    if len(rows) > MAX_CODEGEN_ROWS:
+        return None
+    source = generate_shape_source(planner, rows)
+    shape_tag = "".join(str(p) for p in planner.changed)
+    kernel = compile_kernel(
+        source, "row_kernel", f"<codegen:{view_name}:shape{shape_tag}>"
+    )
+    if planner.always_empty:
+        rows_evaluated = memo_hits = 0
+    else:
+        rows_evaluated = len(rows)
+        memo_hits = 0
+        if planner.share and rows:
+            first_position = planner.steps[0].position
+            distinct_first = len({row[first_position] for row in rows})
+            memo_hits = len(rows) - distinct_first
+    return ShapeKernels(source, kernel, rows_evaluated, memo_hits)

@@ -31,9 +31,29 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Optional
 
 from repro.algebra.expressions import NormalForm
 from repro.algebra.relation import Delta, Relation
-from repro.algebra.schema import RelationSchema
 from repro.algebra.tags import Tag
-from repro.core.differential import changed_positions_for, execute_planner
+from repro.algebra.schema import RelationSchema
+from repro.core.codegen import (
+    CODEGEN_VERSION,
+    CodegenStats,
+    DeltaBatch,
+    MAX_CODEGEN_OPERANDS,
+    MAX_CODEGEN_ROWS,
+    ScreenKernel,
+    ShapeKernels,
+    codegen_rows,
+    compile_kernel,
+    compile_shape_kernels,
+    generate_screen_source,
+    generate_shape_source,
+    plan_fingerprint,
+)
+from repro.core.counting import net_counts
+from repro.core.differential import (
+    build_operands,
+    changed_positions_for,
+    execute_planner,
+)
 from repro.core.irrelevance import (
     FilterStats,
     RelevanceFilter,
@@ -68,9 +88,15 @@ class CompiledViewPlan:
         Names among the view's operands that are themselves registered
         views — they carry no persistent index, and their screens bind
         against view output schemas.
-    share_subexpressions, use_indexes:
+    share_subexpressions, use_indexes, use_codegen:
         The owning maintainer's evaluation switches, frozen into the
-        plan.
+        plan.  With ``use_codegen`` the plan emits batch kernels from
+        generated source (:mod:`repro.core.codegen`) at registration
+        time and executes those; without it, the per-tuple interpreter
+        runs — the ablation oracle the kernels are verified against.
+    codegen_stats:
+        Optional maintainer-owned :class:`~repro.core.codegen.CodegenStats`
+        sink; cumulative codegen counters survive plan eviction there.
     """
 
     __slots__ = (
@@ -79,6 +105,7 @@ class CompiledViewPlan:
         "fingerprint",
         "share_subexpressions",
         "use_indexes",
+        "use_codegen",
         "_database",
         "_view_operands",
         "_schemas",
@@ -86,6 +113,9 @@ class CompiledViewPlan:
         "_static_irrelevant",
         "_planners",
         "_index_bindings",
+        "_codegen_stats",
+        "_screen_kernels",
+        "_shape_kernels",
     )
 
     def __init__(
@@ -96,15 +126,23 @@ class CompiledViewPlan:
         view_operands: Iterable[str] = (),
         share_subexpressions: bool = True,
         use_indexes: bool = True,
+        use_codegen: bool = True,
+        codegen_stats: CodegenStats | None = None,
     ) -> None:
         self.definition = definition
         self.normal_form: NormalForm = definition.normal_form
-        #: Structural identity of the definition this plan was built
-        #: for; the cache refuses to serve a plan whose fingerprint no
-        #: longer matches the registered view.
-        self.fingerprint: tuple = self.normal_form.fingerprint()
+        #: Identity of the executable this plan is: the definition's
+        #: structural fingerprint extended with the generated-source
+        #: version (or an interpreter marker).  The cache refuses to
+        #: serve a plan whose fingerprint no longer matches the
+        #: registered view *and current execution mode*.
+        self.fingerprint: tuple = plan_fingerprint(
+            self.normal_form, use_codegen
+        )
         self.share_subexpressions = share_subexpressions
         self.use_indexes = use_indexes
+        self.use_codegen = use_codegen
+        self._codegen_stats = codegen_stats
         self._database = database
         self._view_operands = frozenset(view_operands)
         self._schemas: dict[str, RelationSchema] = {}
@@ -147,6 +185,31 @@ class CompiledViewPlan:
         self._index_bindings: dict[
             tuple[int, tuple[str, ...]], "HashIndex | None"
         ] = {}
+        # Generated batch kernels.  Screen kernels are compiled eagerly
+        # — they bake the APSP distances and any static-irrelevance
+        # proof into source, so they must be rebuilt whenever the plan
+        # is (constraint DDL invalidates the plan, not just a flag).
+        # Shape kernels compile on first use of each truth-table shape,
+        # like the planners they mirror.
+        self._screen_kernels: dict[str, tuple[str, ScreenKernel]] = {}
+        self._shape_kernels: dict[tuple[int, ...], ShapeKernels | None] = {}
+        if use_codegen:
+            for name in sorted(self._screens):
+                source = generate_screen_source(
+                    name,
+                    self._screens[name],
+                    self._schemas[name],
+                    statically_irrelevant=name in self._static_irrelevant,
+                )
+                kernel = compile_kernel(
+                    source,
+                    "screen_kernel",
+                    f"<codegen:{definition.name}:screen:{name}>",
+                )
+                self._screen_kernels[name] = (source, kernel)
+            charge("codegen_plans_compiled")
+            if codegen_stats is not None:
+                codegen_stats.plans_compiled += 1
 
     # ------------------------------------------------------------------
     # Section 4: screening
@@ -171,7 +234,44 @@ class CompiledViewPlan:
             stats.static_dropped = stats.checked
             charge("static_tuples_dropped", stats.checked)
             return Delta(delta.schema), stats
+        if self.use_codegen:
+            return self._screen_batch(relation_name, screen, delta)
         return screen.screen_delta(delta)
+
+    def _screen_batch(
+        self, relation_name: str, screen: RelevanceFilter, delta: Delta
+    ) -> tuple[Delta, FilterStats]:
+        """Run the generated screen kernel over one columnar batch.
+
+        Functionally identical to
+        :meth:`~repro.core.irrelevance.RelevanceFilter.screen_delta`,
+        including every instrumentation counter — the kernel returns
+        its per-tuple ground-eval and bound-probe tallies so they can
+        be charged in bulk here.
+        """
+        kernel = self._screen_kernels[relation_name][1]
+        batch = DeltaBatch.from_delta(delta)
+        n = len(batch)
+        mask = bytearray(n)
+        ground_evals, bound_probes = kernel(batch.columns, n, mask)
+        stats = FilterStats()
+        stats.checked = n
+        stats.relevant = sum(mask)
+        stats.irrelevant = n - stats.relevant
+        if n:
+            charge("filter_tuples_checked", n)
+            charge("codegen_batch_rows", n)
+            if self._codegen_stats is not None:
+                self._codegen_stats.batch_rows += n
+        if ground_evals:
+            charge("filter_ground_evals", ground_evals)
+        if bound_probes:
+            charge("filter_bound_probes", bound_probes)
+        cumulative = screen.stats
+        cumulative.checked += stats.checked
+        cumulative.relevant += stats.relevant
+        cumulative.irrelevant += stats.irrelevant
+        return batch.to_delta(mask), stats
 
     @property
     def static_irrelevant(self) -> frozenset[str]:
@@ -208,6 +308,21 @@ class CompiledViewPlan:
         if not changed:
             return Delta(self.normal_form.output_schema())
         planner = self.planner_for(changed)
+        if self.use_codegen:
+            kernels = self._shape_kernels_for(changed, planner)
+            if kernels is not None:
+                return self._execute_kernels(
+                    planner, kernels, post_instances, deltas, changed
+                )
+            # The shape exceeds the codegen limits: the interpreter
+            # executes it instead, tuple by tuple.
+            fallback = sum(
+                len(d.inserted) + len(d.deleted) for d in deltas.values()
+            )
+            if fallback:
+                charge("codegen_fallback_tuples", fallback)
+                if self._codegen_stats is not None:
+                    self._codegen_stats.fallback_tuples += fallback
         return execute_planner(
             planner,
             post_instances,
@@ -215,6 +330,76 @@ class CompiledViewPlan:
             changed,
             index_probe=self.index_probe_for(deltas),
         )
+
+    def _shape_kernels_for(
+        self, changed: tuple[int, ...], planner: RowPlanner
+    ) -> ShapeKernels | None:
+        """The cached (or newly compiled) kernels for one shape."""
+        key = tuple(sorted(set(changed)))
+        if key in self._shape_kernels:
+            return self._shape_kernels[key]
+        kernels = compile_shape_kernels(planner, self.definition.name)
+        if kernels is not None:
+            charge("codegen_plans_compiled")
+            if self._codegen_stats is not None:
+                self._codegen_stats.plans_compiled += 1
+        self._shape_kernels[key] = kernels
+        return kernels
+
+    def _execute_kernels(
+        self,
+        planner: RowPlanner,
+        kernels: ShapeKernels,
+        post_instances: Mapping[str, Relation],
+        deltas: Mapping[str, Delta],
+        changed: tuple[int, ...],
+    ) -> Delta:
+        """Run one shape's generated row kernel over one transaction.
+
+        The columnar/batch counterpart of
+        :func:`repro.core.differential.execute_planner`, charging the
+        same counters in bulk from the kernel's tallies.
+        """
+        charge("differential_updates")
+        operands = build_operands(
+            self.normal_form, post_instances, deltas, changed
+        )
+        hook = self.index_probe_for(deltas)
+        steps = planner.steps
+        resolved: dict[int, ProbeFn | None] = {}
+
+        def probe_for(step_index: int) -> ProbeFn | None:
+            probe = resolved.get(step_index)
+            if step_index in resolved:
+                return probe
+            if hook is not None:
+                step = steps[step_index]
+                probe = hook(step.position, step.link_attr_names)
+            resolved[step_index] = probe
+            return probe
+
+        ins, dele, scanned, probes, emitted, ignored = kernels.row_kernel(
+            operands, probe_for
+        )
+        rows = kernels.rows_evaluated
+        if rows:
+            charge("truth_table_rows", rows)
+            charge("delta_rows_evaluated", rows)
+            charge("codegen_batch_rows", rows)
+            if self._codegen_stats is not None:
+                self._codegen_stats.batch_rows += rows
+        if kernels.memo_hits:
+            charge("subexpression_memo_hits", kernels.memo_hits)
+        if scanned:
+            charge("tuples_scanned", scanned)
+        if probes:
+            charge("join_probes", probes)
+        if emitted:
+            charge("tuples_emitted", emitted)
+        if ignored:
+            charge("tuples_ignored", ignored)
+        net_counts(ins, dele)
+        return Delta.from_counts(planner.output_schema, ins, dele)
 
     # ------------------------------------------------------------------
     # Index bindings
@@ -289,6 +474,61 @@ class CompiledViewPlan:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def kernel_source(self) -> str:
+        """The complete generated source for this plan, deterministic.
+
+        One listing: a version header, the screen kernel per
+        participating relation (sorted by name), then the row/apply
+        kernels for every single-relation truth-table shape plus the
+        all-relations shape.  Generation is a pure function of the plan
+        structure, so two compiles of the same definition against the
+        same catalog and constraints emit byte-identical text — the
+        property the CLI's ``--source`` determinism check asserts.
+        Shapes beyond the codegen limits are listed as interpreter
+        fallbacks.
+        """
+        name = self.definition.name
+        parts = [
+            f"# generated kernels for view {name!r} "
+            f"(codegen v{CODEGEN_VERSION})\n"
+        ]
+        for relation_name in sorted(self._screens):
+            cached = self._screen_kernels.get(relation_name)
+            if cached is not None:
+                parts.append(cached[0])
+                continue
+            parts.append(
+                generate_screen_source(
+                    relation_name,
+                    self._screens[relation_name],
+                    self._schemas[relation_name],
+                    statically_irrelevant=(
+                        relation_name in self._static_irrelevant
+                    ),
+                )
+            )
+        width = len(self.normal_form.occurrences)
+        if width > MAX_CODEGEN_OPERANDS:
+            parts.append(
+                f"# {width} operands exceed the codegen limit "
+                f"({MAX_CODEGEN_OPERANDS}); every shape runs on the "
+                "interpreter\n"
+            )
+            return "\n".join(parts)
+        shapes = [(i,) for i in range(width)]
+        if width > 1:
+            shapes.append(tuple(range(width)))
+        for shape in shapes:
+            rows = codegen_rows(width, shape)
+            if len(rows) > MAX_CODEGEN_ROWS:
+                parts.append(
+                    f"# shape {shape!r}: {len(rows)} truth-table rows "
+                    "exceed the codegen limit; interpreter fallback\n"
+                )
+                continue
+            parts.append(generate_shape_source(self.planner_for(shape), rows))
+        return "\n".join(parts)
+
     def describe(self, changed_relations: Iterable[str]) -> str:
         """The compiled plan, as text, for a hypothetical update.
 

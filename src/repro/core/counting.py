@@ -52,6 +52,29 @@ def project_delta(delta: Delta, attributes: Sequence[str]) -> tuple[
     return insert_counts, delete_counts
 
 
+def net_counts(
+    insert_counts: dict[tuple[int, ...], int],
+    delete_counts: dict[tuple[int, ...], int],
+) -> tuple[dict[tuple[int, ...], int], dict[tuple[int, ...], int]]:
+    """Cancel opposing counts on the same tuple, in place.
+
+    The §5.2 counter arithmetic shared by every maintenance backend:
+    insert and delete counts landing on the same view tuple net out
+    (``+2/−1`` becomes ``+1``), leaving the disjoint sides a
+    :class:`~repro.algebra.relation.Delta` requires.  Both dicts are
+    mutated and returned for convenience.
+    """
+    for key in list(insert_counts.keys() & delete_counts.keys()):
+        cancel = min(insert_counts[key], delete_counts[key])
+        insert_counts[key] -= cancel
+        delete_counts[key] -= cancel
+        if not insert_counts[key]:
+            del insert_counts[key]
+        if not delete_counts[key]:
+            del delete_counts[key]
+    return insert_counts, delete_counts
+
+
 def maintain_project_view(
     view: Relation, delta: Delta, attributes: Sequence[str]
 ) -> None:

@@ -264,6 +264,8 @@ def project_view_delta(attributes: Sequence[str], delta: Delta) -> Delta:
     effect happens before returning — the caller applies count
     arithmetic, matching Algorithm 5.1's final step.
     """
+    from repro.core.counting import net_counts
+
     insert_counts: dict[ValueTuple, int] = {}
     delete_counts: dict[ValueTuple, int] = {}
     positions = delta.schema.positions(attributes)
@@ -273,14 +275,7 @@ def project_view_delta(attributes: Sequence[str], delta: Delta) -> Delta:
     for values, count in delta.deleted.items():
         key = tuple(values[i] for i in positions)
         delete_counts[key] = delete_counts.get(key, 0) + count
-    for key in list(insert_counts.keys() & delete_counts.keys()):
-        cancel = min(insert_counts[key], delete_counts[key])
-        insert_counts[key] -= cancel
-        delete_counts[key] -= cancel
-        if not insert_counts[key]:
-            del insert_counts[key]
-        if not delete_counts[key]:
-            del delete_counts[key]
+    net_counts(insert_counts, delete_counts)
     return Delta.from_counts(
         delta.schema.project_schema(attributes), insert_counts, delete_counts
     )

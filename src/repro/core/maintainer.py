@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 from repro.algebra.expressions import Expression
 from repro.algebra.relation import Delta, Relation
+from repro.core.codegen import CodegenStats, plan_fingerprint
 from repro.core.compiled import CompiledViewPlan
 from repro.core.plancache import PlanCache
 from repro.core.views import MaterializedView, ViewDefinition
@@ -115,6 +116,13 @@ class ViewMaintainer:
         Reuse compiled maintenance plans across transactions (default
         on; E21's ablation switch — off compiles a fresh plan per
         maintenance call, restoring the pre-cache behavior).
+    use_codegen:
+        Execute generated batch kernels (:mod:`repro.core.codegen`)
+        instead of the per-tuple interpreter (default on; E24's
+        ablation switch — off keeps the interpreter as the oracle the
+        kernels are verified against).  Flipping the switch changes the
+        expected plan fingerprint, so cached plans compiled under the
+        other mode are evicted, never executed.
     strict:
         Default for :meth:`define_view`'s ``strict`` parameter: run the
         static analyzer (:mod:`repro.analysis`) on every new definition
@@ -132,6 +140,7 @@ class ViewMaintainer:
         share_subexpressions: bool = True,
         use_indexes: bool = True,
         use_plan_cache: bool = True,
+        use_codegen: bool = True,
         strict: bool = False,
         auto_verify: bool = False,
     ) -> None:
@@ -140,8 +149,12 @@ class ViewMaintainer:
         self.share_subexpressions = share_subexpressions
         self.use_indexes = use_indexes
         self.use_plan_cache = use_plan_cache
+        self.use_codegen = use_codegen
         self.strict = strict
         self.auto_verify = auto_verify
+        #: Cumulative codegen counters; owned here (not by plans) so
+        #: they survive plan-cache evictions and recompiles.
+        self._codegen_stats = CodegenStats()
         self._views: dict[str, MaterializedView] = {}
         self._policies: dict[str, MaintenancePolicy] = {}
         self._pending: dict[str, dict[str, Delta]] = {}
@@ -330,7 +343,31 @@ class ViewMaintainer:
             view_operands=referenced & self._views.keys(),
             share_subexpressions=self.share_subexpressions,
             use_indexes=self.use_indexes,
+            use_codegen=self.use_codegen,
+            codegen_stats=self._codegen_stats,
         )
+
+    def expected_plan_fingerprint(self, name: str) -> tuple:
+        """The fingerprint a served plan for ``name`` must carry *now*.
+
+        Combines the registered definition's structural fingerprint
+        with the current execution mode (codegen version vs
+        interpreter) — the value the cache audit in the simulation
+        oracle compares cached plans against.
+        """
+        self._require_view(name)
+        return plan_fingerprint(
+            self._views[name].definition.normal_form, self.use_codegen
+        )
+
+    def codegen_stats(self) -> CodegenStats:
+        """Cumulative codegen counters across all plans and recompiles."""
+        return self._codegen_stats
+
+    def kernel_source(self, name: str) -> str:
+        """The generated kernel source for one view's current plan."""
+        self._require_view(name)
+        return self._plan_for(name).kernel_source()
 
     def _plan_for(self, name: str) -> CompiledViewPlan:
         """The plan a maintenance call executes — cached when possible.
@@ -342,7 +379,9 @@ class ViewMaintainer:
         """
         view = self._views[name]
         stats = self._stats[name]
-        fingerprint = view.definition.normal_form.fingerprint()
+        fingerprint = plan_fingerprint(
+            view.definition.normal_form, self.use_codegen
+        )
         plan = self._plan_cache.get(name, fingerprint)
         if plan is not None:
             stats.plan_cache_hits += 1

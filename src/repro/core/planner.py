@@ -80,6 +80,8 @@ class StepPlan:
         "link_attr_names",
         "prefilter",
         "postfilter",
+        "prefilter_atoms",
+        "postfilter_atoms",
         "operand_key_positions",
     )
 
@@ -102,6 +104,10 @@ class StepPlan:
         self.operand_key_positions = tuple(
             operand_schema.index(name) for name in self.link_attr_names
         )
+        # The raw atom lists are retained alongside the compiled
+        # closures: the codegen backend re-emits them as inline source.
+        self.prefilter_atoms = tuple(prefilter_atoms)
+        self.postfilter_atoms = tuple(postfilter_atoms)
         self.prefilter = (
             compile_condition(Condition.of_atoms(prefilter_atoms), operand_schema)
             if prefilter_atoms
@@ -453,6 +459,31 @@ class RowPlanner:
     def steps(self) -> tuple[StepPlan, ...]:
         """The resolved join steps, in execution order."""
         return self._steps
+
+    @property
+    def always_empty(self) -> bool:
+        """True when a shared ground atom is false: no row contributes."""
+        return self._always_empty
+
+    @property
+    def needs_final_filter(self) -> bool:
+        """True when the full DNF condition is re-checked at the end."""
+        return self._needs_final_filter
+
+    @property
+    def final_schema(self) -> RelationSchema:
+        """Schema of a fully joined row, before projection."""
+        return self._final_schema
+
+    @property
+    def projection_positions(self) -> tuple[int, ...]:
+        """Positions in :attr:`final_schema` the projection keeps."""
+        return self._projection_positions
+
+    @property
+    def output_schema(self) -> RelationSchema:
+        """Schema of the projected view delta."""
+        return self._output_schema
 
     def describe(self) -> str:
         """A human-readable account of the evaluation plan.

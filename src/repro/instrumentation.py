@@ -59,7 +59,16 @@ one call site):
   :class:`repro.scheduler.RefreshScheduler`, and
   ``base_free_rows_dropped`` (base-relation tuples shed by a
   :class:`repro.replication.Follower` or cluster shard hosting only
-  self-maintainable views).
+  self-maintainable views);
+* codegen (``codegen_*``; see ``docs/codegen.md``) —
+  ``codegen_plans_compiled`` (kernel sets generated, ``compile()``-d
+  and installed by :mod:`repro.core.codegen`, charged once per screen
+  compilation and once per truth-table shape),
+  ``codegen_batch_rows`` (delta tuples screened plus truth-table rows
+  evaluated by the generated batch kernels — the work the per-tuple
+  interpreter would otherwise have dispatched tuple by tuple), and
+  ``codegen_fallback_tuples`` (delta tuples routed back to the
+  interpreter because the view exceeded the codegen size caps).
 
 Usage::
 

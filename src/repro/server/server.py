@@ -632,6 +632,7 @@ class ViewServer:
             "counters": self.recorder.snapshot(),
             "views": views,
             "plan_cache": self.maintainer.plan_cache_stats(),
+            "codegen": self.maintainer.codegen_stats().as_dict(),
             "sessions": {
                 "open": len(self._sessions),
                 "max": self.config.max_sessions,

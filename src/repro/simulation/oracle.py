@@ -67,7 +67,7 @@ def verify_maintainer(label: str, maintainer: "ViewMaintainer") -> list[str]:
         if not report.is_consistent():
             divergences.append(f"{label}: {report.summary()}")
     live = {
-        name: maintainer.view(name).definition.normal_form.fingerprint()
+        name: maintainer.expected_plan_fingerprint(name)
         for name in maintainer.view_names()
     }
     for name, cached in maintainer.plan_fingerprints().items():

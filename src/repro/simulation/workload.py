@@ -160,6 +160,7 @@ class SimulationConfig:
         "base_free_followers",
         "clients",
         "lost_fsync_rate",
+        "use_codegen",
     )
 
     def __init__(
@@ -175,6 +176,7 @@ class SimulationConfig:
         base_free_followers: int = 1,
         clients: int = 2,
         lost_fsync_rate: float = 0.15,
+        use_codegen: bool = True,
     ) -> None:
         self.seed = seed
         self.episodes = episodes
@@ -190,6 +192,10 @@ class SimulationConfig:
         self.base_free_followers = base_free_followers
         self.clients = clients
         self.lost_fsync_rate = lost_fsync_rate
+        #: Maintain every copy (leader, recovery, followers) with the
+        #: generated batch kernels; ``False`` pins the per-tuple
+        #: interpreter so oracle rounds exercise the ablation too.
+        self.use_codegen = use_codegen
 
     @property
     def total_followers(self) -> int:
@@ -358,7 +364,9 @@ class Episode:
                 for _ in range(rng.randint(4, 8))
             }
             self.database.create_relation(name, attributes, sorted(rows))
-        self.maintainer = ViewMaintainer(self.database)
+        self.maintainer = ViewMaintainer(
+            self.database, use_codegen=self.config.use_codegen
+        )
         for name, policy in (
             ("v0", MaintenancePolicy.IMMEDIATE),
             ("v1", MaintenancePolicy.IMMEDIATE),
@@ -406,7 +414,11 @@ class Episode:
             # single-relation definitions (a random join view would be
             # legitimately rejected at shed time).
             base_free = index >= self.config.followers
-            follower = Follower(self.directory, base_free=base_free)
+            follower = Follower(
+                self.directory,
+                base_free=base_free,
+                use_codegen=self.config.use_codegen,
+            )
             name = f"g{index}"
             expression = random_spj_expression(
                 rng, max_operands=1 if base_free else 3
@@ -609,7 +621,9 @@ class Episode:
 
     def _recover(self) -> None:
         recovery = Recovery(self.directory)
-        maintainer = ViewMaintainer(recovery.database)
+        maintainer = ViewMaintainer(
+            recovery.database, use_codegen=self.config.use_codegen
+        )
         for name in sorted(self.views):
             expression, policy = self.views[name]
             recovery.restore_view(maintainer, name, expression, policy=policy)
@@ -659,7 +673,11 @@ class Episode:
     def _rebootstrap_follower(self, index: int) -> None:
         """Rebuild one follower from the leader's latest checkpoint."""
         name, expression, base_free = self.follower_views[index]
-        follower = Follower(self.directory, base_free=base_free)
+        follower = Follower(
+            self.directory,
+            base_free=base_free,
+            use_codegen=self.config.use_codegen,
+        )
         follower.define_view(name, expression)
         self.links[index].reset(follower)
         self.stats["follower_resets"] += 1

@@ -406,6 +406,21 @@ class TestCliAnalyze:
             [f for f in doc["findings"] if f["severity"] == "warn"]
         )
 
+    def test_source_flag_appends_generated_kernels(self, tmp_path):
+        spec = tmp_path / "ok.txt"
+        spec.write_text(
+            "create table r (A, B)\n"
+            "create view v as r where A < 5 select A\n"
+        )
+        lines: list[str] = []
+        assert (
+            run_analyze([str(spec)], show_source=True, emit=lines.append)
+            == 0
+        )
+        text = "\n".join(lines)
+        assert "kernel source for view 'v'" in text
+        assert "def screen_kernel" in text
+
     def test_errors_carry_file_and_line(self, tmp_path):
         spec = tmp_path / "broken.txt"
         spec.write_text("create table r (A, B)\nnot a command\n")

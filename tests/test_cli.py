@@ -131,6 +131,24 @@ class TestViews:
         with pytest.raises(ShellError):
             shell.execute("explain v")
 
+    def test_explain_source_prints_generated_kernels(self, shell):
+        _setup_sales(shell)
+        shell.execute("create view v as r join s select A, C")
+        source = shell.execute("explain v source")
+        assert "generated kernels for view 'v'" in source
+        assert "def screen_kernel" in source
+        assert "def row_kernel" in source
+        # Determinism: asking twice prints byte-identical source.
+        assert source == shell.execute("explain v source")
+
+    def test_stats_includes_codegen_counters(self, shell):
+        _setup_sales(shell)
+        shell.execute("create view v as r join s select A, C")
+        stats = shell.execute("stats v")
+        assert "codegen_plans_compiled:" in stats
+        assert "codegen_batch_rows:" in stats
+        assert "codegen_fallback_tuples:" in stats
+
     def test_recommend_and_create_indexes(self, shell):
         _setup_sales(shell)
         shell.execute("create view v as r join s")

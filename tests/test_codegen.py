@@ -1,0 +1,332 @@
+"""Tests for the generated batch kernels (``repro.core.codegen``).
+
+The codegen contract has four legs, each pinned here:
+
+* **equivalence** — a maintainer running the generated kernels and one
+  running the per-tuple interpreter agree byte-for-byte on view
+  contents *and* on every abstract work counter, over random legal
+  update streams covering every truth-table shape the views produce
+  (single-relation, two- and three-way joins, counted projections,
+  disjunctions needing the final DNF re-check);
+* **determinism** — compiling the same view twice emits byte-identical
+  kernel source (replicas must agree on the code they run, not just
+  its results);
+* **invalidation** — a static-irrelevance proof baked into generated
+  screen source cannot survive ``declare_constraint`` /
+  ``drop_constraint``: the DDL drops the compiled kernels with the
+  plan, and the recompiled source changes behavior immediately;
+* **fallback** — views exceeding the codegen size caps fall back to
+  the interpreter, charging ``codegen_fallback_tuples``, with
+  identical results.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.codegen as codegen
+from repro import BaseRef, Database, ViewMaintainer
+from repro.algebra.relation import Delta
+from repro.core.codegen import CODEGEN_VERSION, DeltaBatch, plan_fingerprint
+from repro.instrumentation import CostRecorder, recording
+
+# ----------------------------------------------------------------------
+# Shared fixtures: three base relations and view shapes spanning the
+# truth-table space (k = 1 .. 3 changed operands, all Section 5 cases).
+# ----------------------------------------------------------------------
+VIEW_SHAPES = {
+    "join2": BaseRef("r")
+    .product(BaseRef("s"))
+    .select("A < 10 and C > 5 and B = C")
+    .project(["A", "D"]),
+    "join3": BaseRef("r")
+    .product(BaseRef("s"))
+    .product(BaseRef("t"))
+    .select("B = C and D = E"),
+    "proj": BaseRef("r").project(["B"]),
+    "disj": BaseRef("r").select("A < 3 or B > 6"),
+}
+
+#: Work counters both execution modes must charge identically.
+PARITY_COUNTERS = (
+    "tuples_scanned",
+    "join_probes",
+    "index_probes",
+    "tuples_emitted",
+    "tuples_ignored",
+    "truth_table_rows",
+    "delta_rows_evaluated",
+    "subexpression_memo_hits",
+    "filter_tuples_checked",
+    "filter_ground_evals",
+    "filter_bound_probes",
+    "static_tuples_dropped",
+    "differential_updates",
+)
+
+
+def _fresh_database():
+    db = Database()
+    db.create_relation("r", ["A", "B"], [(1, 6), (2, 7), (9, 9)])
+    db.create_relation("s", ["C", "D"], [(6, 1), (7, 2), (9, 5)])
+    db.create_relation("t", ["E", "F"], [(1, 0), (5, 3)])
+    return db
+
+
+def _run_stream(stream, **maintainer_options):
+    """Build the shared catalog, replay ``stream``, return the evidence.
+
+    ``stream`` is a list of transactions; each transaction is a list of
+    ``(relation, row, delete?)`` operations.  Deletes target a live row
+    (chosen by index) so every stream is legal by construction.
+    """
+    db = _fresh_database()
+    maintainer = ViewMaintainer(db, **maintainer_options)
+    for name, expression in VIEW_SHAPES.items():
+        maintainer.define_view(name, expression)
+    live = {
+        name: sorted(db.relation(name).value_tuples())
+        for name in ("r", "s", "t")
+    }
+    recorder = CostRecorder()
+    with recording(recorder):
+        for txn_ops in stream:
+            with db.transact() as txn:
+                staged = {name: list(rows) for name, rows in live.items()}
+                for name, row, delete in txn_ops:
+                    if delete:
+                        if not staged[name]:
+                            continue
+                        victim = staged[name].pop(
+                            row[0] % len(staged[name])
+                        )
+                        txn.delete(name, victim)
+                    elif row not in staged[name]:
+                        txn.insert(name, row)
+                        staged[name].append(row)
+                live = {
+                    name: sorted(rows) for name, rows in staged.items()
+                }
+    maintainer.verify_all()
+    contents = {
+        name: dict(maintainer.view(name).contents.counts())
+        for name in VIEW_SHAPES
+    }
+    return maintainer, recorder.snapshot(), contents
+
+
+def _assert_parity(stream, **options):
+    """Codegen and interpreter agree on contents and on all counters."""
+    m_gen, c_gen, v_gen = _run_stream(stream, use_codegen=True, **options)
+    m_int, c_int, v_int = _run_stream(stream, use_codegen=False, **options)
+    assert v_gen == v_int
+    for name in PARITY_COUNTERS:
+        assert c_gen.get(name, 0) == c_int.get(name, 0), (
+            name,
+            c_gen.get(name, 0),
+            c_int.get(name, 0),
+        )
+    assert m_gen.codegen_stats().plans_compiled > 0
+    assert m_int.codegen_stats().plans_compiled == 0
+    assert "codegen_plans_compiled" not in c_int
+
+
+rows_st = st.tuples(
+    st.integers(min_value=-3, max_value=12),
+    st.integers(min_value=-3, max_value=12),
+)
+operation_st = st.tuples(
+    st.sampled_from(["r", "r", "s", "t"]), rows_st, st.booleans()
+)
+#: Transactions of 1-3 operations: multi-relation transactions produce
+#: the k >= 2 truth-table shapes.
+stream_st = st.lists(
+    st.lists(operation_st, min_size=1, max_size=3),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(stream=stream_st)
+    def test_codegen_matches_interpreter_on_random_streams(self, stream):
+        _assert_parity(stream)
+
+    def test_parity_holds_under_every_ablation(self):
+        rng = random.Random(17)
+        stream = [
+            [
+                (
+                    rng.choice(["r", "r", "s", "t"]),
+                    (rng.randint(-3, 12), rng.randint(-3, 12)),
+                    rng.random() < 0.3,
+                )
+                for _ in range(rng.randint(1, 3))
+            ]
+            for _ in range(25)
+        ]
+        for options in (
+            {},
+            {"share_subexpressions": False},
+            {"use_indexes": False},
+            {"use_relevance_filter": False},
+        ):
+            _assert_parity(stream, **options)
+
+
+class TestSourceDeterminism:
+    def _kernel_sources(self):
+        db = _fresh_database()
+        maintainer = ViewMaintainer(db)
+        for name, expression in VIEW_SHAPES.items():
+            maintainer.define_view(name, expression)
+        return {
+            name: maintainer.kernel_source(name) for name in VIEW_SHAPES
+        }
+
+    def test_two_compiles_emit_byte_identical_source(self):
+        assert self._kernel_sources() == self._kernel_sources()
+
+    def test_source_names_view_and_version(self):
+        source = self._kernel_sources()["join2"]
+        assert "'join2'" in source
+        assert f"codegen v{CODEGEN_VERSION}" in source
+
+    def test_fingerprint_separates_execution_modes(self):
+        db = _fresh_database()
+        maintainer = ViewMaintainer(db)
+        maintainer.define_view("v", VIEW_SHAPES["join2"])
+        nf = maintainer.view("v").definition.normal_form
+        assert plan_fingerprint(nf, True) != plan_fingerprint(nf, False)
+        assert plan_fingerprint(nf, True) == (
+            maintainer.expected_plan_fingerprint("v")
+        )
+
+
+class TestConstraintDDL:
+    """A baked static-irrelevance proof must die with constraint DDL."""
+
+    def _maintainer(self):
+        db = Database()
+        db.create_relation("r", ["A", "B"], [(20, 1), (30, 2)])
+        db.declare_constraint("r", "A >= 20")
+        maintainer = ViewMaintainer(db)
+        maintainer.define_view("v", BaseRef("r").select("A < 10"))
+        return db, maintainer
+
+    def test_stale_proof_cannot_survive_drop_constraint(self):
+        db, maintainer = self._maintainer()
+        # Under the constraint, every r-update is provably irrelevant:
+        # the generated screen is a stub that drops the whole batch.
+        assert "statically irrelevant" in maintainer.kernel_source("v")
+        with db.transact() as txn:
+            txn.insert("r", (25, 3))
+        assert dict(maintainer.view("v").contents.counts()) == {}
+
+        db.drop_constraint("r")
+        # The plan — kernels included — was invalidated: the recompiled
+        # source screens per-tuple again and maintenance sees the row.
+        assert "statically irrelevant" not in maintainer.kernel_source("v")
+        with db.transact() as txn:
+            txn.insert("r", (5, 4))
+        assert dict(maintainer.view("v").contents.counts()) == {(5, 4): 1}
+        maintainer.verify_all()
+
+    def test_declare_constraint_recompiles_to_the_stub(self):
+        db = Database()
+        db.create_relation("r", ["A", "B"], [(20, 1)])
+        maintainer = ViewMaintainer(db)
+        maintainer.define_view("v", BaseRef("r").select("A < 10"))
+        assert "statically irrelevant" not in maintainer.kernel_source("v")
+        db.declare_constraint("r", "A >= 20")
+        assert "statically irrelevant" in maintainer.kernel_source("v")
+        maintainer.verify_all()
+
+
+class TestFallback:
+    def test_oversized_shape_falls_back_to_interpreter(self, monkeypatch):
+        monkeypatch.setattr(codegen, "MAX_CODEGEN_ROWS", 0)
+        stream = [
+            [("r", (1, 6), False), ("s", (8, 8), False)],
+            [("r", (2, 7), True)],
+        ]
+        m_gen, c_gen, v_gen = _run_stream(stream, use_codegen=True)
+        assert c_gen.get("codegen_fallback_tuples", 0) > 0
+        assert m_gen.codegen_stats().fallback_tuples > 0
+        monkeypatch.undo()
+        _, c_int, v_int = _run_stream(stream, use_codegen=False)
+        assert v_gen == v_int
+        assert "codegen_fallback_tuples" not in c_int
+
+    def test_wide_views_fall_back_at_registration(self, monkeypatch):
+        monkeypatch.setattr(codegen, "MAX_CODEGEN_OPERANDS", 1)
+        stream = [[("r", (1, 6), False), ("s", (8, 8), False)]]
+        m_gen, c_gen, v_gen = _run_stream(stream, use_codegen=True)
+        monkeypatch.undo()
+        _, _, v_int = _run_stream(stream, use_codegen=False)
+        assert v_gen == v_int
+        # The joins exceeded the cap; the single-operand views did not.
+        assert c_gen.get("codegen_fallback_tuples", 0) > 0
+        assert m_gen.codegen_stats().plans_compiled > 0
+
+
+class TestDeltaBatch:
+    def _delta(self, db):
+        schema = db.relation("r").schema
+        return Delta.from_counts(
+            schema,
+            {(1, 6): 2, (2, 7): 1},
+            {(9, 9): 1},
+        )
+
+    def test_full_mask_round_trips(self):
+        delta = self._delta(_fresh_database())
+        batch = DeltaBatch.from_delta(delta)
+        assert len(batch) == 3
+        assert batch.n_inserted == 2
+        assert batch.columns[0] == [1, 2, 9]
+        assert batch.columns[1] == [6, 7, 9]
+        out = batch.to_delta(bytearray([1] * len(batch)))
+        assert out.inserted == delta.inserted
+        assert out.deleted == delta.deleted
+
+    def test_partial_mask_keeps_counts_and_sides(self):
+        delta = self._delta(_fresh_database())
+        batch = DeltaBatch.from_delta(delta)
+        mask = bytearray(len(batch))
+        mask[0] = 1  # one insert
+        mask[2] = 1  # the delete
+        out = batch.to_delta(mask)
+        assert out.inserted == {(1, 6): 2}
+        assert out.deleted == {(9, 9): 1}
+
+
+class TestStatsSurface:
+    def test_codegen_stats_as_dict_keys(self):
+        _, counters, _ = _run_stream([[("r", (1, 6), False)]])
+        db = _fresh_database()
+        maintainer = ViewMaintainer(db)
+        maintainer.define_view("v", VIEW_SHAPES["join2"])
+        stats = maintainer.codegen_stats().as_dict()
+        assert set(stats) == {
+            "codegen_plans_compiled",
+            "codegen_batch_rows",
+            "codegen_fallback_tuples",
+        }
+        assert stats["codegen_plans_compiled"] > 0
+
+    def test_counters_reach_the_recorder(self):
+        _, counters, _ = _run_stream(
+            [[("r", (1, 6), False)], [("s", (8, 8), False)]],
+            use_codegen=True,
+        )
+        assert counters.get("codegen_plans_compiled", 0) > 0
+        assert counters.get("codegen_batch_rows", 0) > 0
+
+    def test_unknown_view_kernel_source_fails_loudly(self):
+        maintainer = ViewMaintainer(_fresh_database())
+        with pytest.raises(Exception):
+            maintainer.kernel_source("nope")

@@ -431,6 +431,9 @@ class TestEndToEnd:
         assert stats["plan_cache"]["plan_cache_misses"] == 0
         assert stats["views"]["hot"]["maintenance"]["plan_cache_hits"] >= 1
         assert stats["counters"]["plan_cache_hits"] >= 1
+        assert stats["codegen"]["codegen_plans_compiled"] >= 1
+        assert stats["codegen"]["codegen_batch_rows"] >= 1
+        assert stats["codegen"]["codegen_fallback_tuples"] == 0
 
     def test_subscribe_unknown_view(self, served):
         handle, *_ = served

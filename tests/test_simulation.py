@@ -431,6 +431,21 @@ class TestEpisodeDeterminism:
         config = SimulationConfig(seed=11, episodes=2, events=25)
         assert run_simulation(config).format() == run_simulation(config).format()
 
+    def test_interpreter_ablation_matches_codegen_batch(self):
+        # Toggling use_codegen switches every copy — leader, recovery,
+        # followers — to the per-tuple interpreter; the oracle rounds
+        # (full recompute, WAL replay, follower diff) must stay clean
+        # and the externally observable run must be identical.
+        compiled = run_simulation(
+            SimulationConfig(seed=11, episodes=2, events=25)
+        )
+        interpreted = run_simulation(
+            SimulationConfig(seed=11, episodes=2, events=25, use_codegen=False)
+        )
+        assert compiled.ok, compiled.format()
+        assert interpreted.ok, interpreted.format()
+        assert compiled.format() == interpreted.format()
+
     def test_crash_episodes_recover_and_verify(self):
         # Hunt a few seeds for a schedule that actually crashes, then
         # require the recovery oracle to have run and passed.

@@ -15,7 +15,11 @@ nondeterminism breaks all of that silently, so this lint forbids, in
   (constructing a seeded ``random.Random(seed)`` or an explicit
   ``random.SystemRandom`` instance is fine);
 * ``datetime.datetime.now`` / ``utcnow`` / ``today`` and
-  ``datetime.date.today`` — ambient dates.
+  ``datetime.date.today`` — ambient dates;
+* ``eval`` / ``exec`` — dynamic code execution, allowed only in the
+  sanctioned kernel generator (``src/repro/core/codegen.py``), whose
+  generated source is itself required to be byte-for-byte
+  deterministic.
 
 The sanctioned seams are allowlisted: the simulation clock
 (``SimClock`` owns virtual time) and the benchmark harness (its whole
@@ -62,6 +66,13 @@ ALLOWED_RANDOM_ATTRS = frozenset({"Random", "SystemRandom"})
 
 FORBIDDEN_DATETIME = frozenset({"now", "utcnow", "today"})
 
+#: The one module allowed to ``compile()``/``exec`` source it built:
+#: the batch-kernel generator.  Everywhere else, dynamic execution
+#: hides code from this lint (and from review) — banned.
+DYNAMIC_EXEC_ALLOWLIST = frozenset({Path("src/repro/core/codegen.py")})
+
+FORBIDDEN_DYNAMIC = frozenset({"eval", "exec"})
+
 
 def _dotted(node: ast.AST) -> str | None:
     """``a.b.c`` for an attribute chain of Names, else None."""
@@ -90,8 +101,20 @@ def check_file(path: Path, root: Path) -> list[str]:
         line = getattr(node, "lineno", 0)
         violations.append(f"{relative}:{line}: {message}")
 
+    allow_dynamic = relative in DYNAMIC_EXEC_ALLOWLIST
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
+            continue
+        if (
+            not allow_dynamic
+            and isinstance(node.func, ast.Name)
+            and node.func.id in FORBIDDEN_DYNAMIC
+        ):
+            report(
+                node,
+                f"{node.func.id}() executes dynamic code; only the "
+                "kernel generator (core/codegen.py) may do that",
+            )
             continue
         dotted = _dotted(node.func)
         if dotted is None:
