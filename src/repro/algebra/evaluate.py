@@ -247,6 +247,12 @@ def _evaluate_node(
         left = _evaluate_node(expression.left, instances)
         right = _evaluate_node(expression.right, instances)
         return left.difference(_align_schema(right, left.schema))
+    from repro.algebra.aggregates import Aggregate, aggregate_relation
+
+    if isinstance(expression, Aggregate):
+        return aggregate_relation(
+            _evaluate_node(expression.child, instances), expression.spec
+        )
     raise ExpressionError(f"cannot evaluate {type(expression).__name__}")
 
 

@@ -32,11 +32,14 @@ counts in one step equals summing them in stages).
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 from repro.algebra.conditions import Atom, Condition
 from repro.algebra.schema import RelationSchema
 from repro.errors import ExpressionError, SchemaError
+
+if TYPE_CHECKING:  # runtime import would cycle: aggregates imports us
+    from repro.algebra.aggregates import Aggregate, AggregateColumn
 
 SchemaCatalog = Mapping[str, RelationSchema]
 
@@ -91,6 +94,31 @@ class Expression:
     def difference(self, other: "Expression") -> "Difference":
         """Counted difference ``self − other`` (evaluate-only)."""
         return Difference(self, other)
+
+    def aggregate(
+        self,
+        keys: Sequence[str],
+        columns: Sequence["AggregateColumn | tuple[str, str | None, str]"],
+    ) -> "Aggregate":
+        """``γ_{keys; columns}(self)`` — aggregate view sugar.
+
+        ``columns`` entries are :class:`~repro.algebra.aggregates.
+        AggregateColumn` instances or ``(func, attribute, alias)``
+        triples (attribute ``None`` for ``count``).
+        """
+        from repro.algebra.aggregates import (
+            Aggregate,
+            AggregateColumn,
+            AggregateSpec,
+        )
+
+        cols = [
+            column
+            if isinstance(column, AggregateColumn)
+            else AggregateColumn(column[0], column[1], column[2])
+            for column in columns
+        ]
+        return Aggregate(self, AggregateSpec(keys, cols))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self})"
@@ -580,6 +608,15 @@ def to_normal_form(expression: Expression, catalog: SchemaCatalog) -> NormalForm
                 "Union views are maintained per branch — use "
                 "repro.extensions.union_views.UnionView instead of "
                 "registering a Union expression directly"
+            )
+        from repro.algebra.aggregates import Aggregate
+
+        if isinstance(node, Aggregate):
+            raise ExpressionError(
+                "aggregation must be the outermost operator of a view "
+                "definition — the maintainer peels the Aggregate node off "
+                "and normalizes only its SPJ core; nested aggregates (or "
+                "SPJ operators above an aggregate) are not supported"
             )
         raise ExpressionError(
             f"{type(node).__name__} is outside the SPJ class supported "

@@ -35,6 +35,7 @@ from repro.analysis.findings import (
     F_SUBSUMED_VIEW,
     F_UNBOUND_OLD_OPERAND,
     F_UNSATISFIABLE_CONDITION,
+    F_UNSUPPORTED_AGGREGATE,
     Finding,
     Severity,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "F_SUBSUMED_VIEW",
     "F_UNBOUND_OLD_OPERAND",
     "F_UNSATISFIABLE_CONDITION",
+    "F_UNSUPPORTED_AGGREGATE",
     "Finding",
     "Severity",
     "analyze_definition",

@@ -1,4 +1,4 @@
-"""The static view analyzer: seven checks over definitions and plans.
+"""The static view analyzer: eight checks over definitions and plans.
 
 Everything here reuses the Section 4 decision machinery — the
 Rosenkrantz–Hunt constraint graph, satisfiability, and the implication
@@ -33,6 +33,11 @@ registration time* instead of against tuples at update time:
     its own counted contents plus the delta, with no base-relation
     access (:mod:`repro.scheduler.selfmaint`), so a ``base_free=True``
     follower or shard could host it without base copies.
+(h) **Unsupported aggregates** (ERROR) — SUM/AVG over an attribute
+    whose domain is a label space: the encoded codes are arbitrary
+    registration order, so the arithmetic is meaningless in every
+    database state.  MIN/MAX over labels stays legal (ordered by code,
+    documented); COUNT reads no attribute at all.
 
 All checks are *decision procedures*, not heuristics: each finding is
 a theorem about the definition, which is why the report is
@@ -45,6 +50,7 @@ import json
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.algebra.conditions import Atom, Conjunction, Var
+from repro.algebra.domains import FiniteDomain, IntegerDomain
 from repro.analysis.findings import (
     F_DEAD_DISJUNCT,
     F_DEAD_TRUTH_ROWS,
@@ -56,6 +62,7 @@ from repro.analysis.findings import (
     F_SUBSUMED_VIEW,
     F_UNBOUND_OLD_OPERAND,
     F_UNSATISFIABLE_CONDITION,
+    F_UNSUPPORTED_AGGREGATE,
     Finding,
     Severity,
 )
@@ -104,17 +111,42 @@ def analyze_definition(
     nf = definition.normal_form
     findings: list[Finding] = []
 
+    # (h) arithmetic aggregates over label domains.  Runs before the
+    # satisfiability gate so a view broken both ways surfaces both
+    # ERRORs — the fixes are independent.
+    if definition.aggregate is not None:
+        core_schema = nf.output_schema()
+        for column in definition.aggregate.columns:
+            if column.func not in ("sum", "avg"):
+                continue
+            assert column.attribute is not None
+            domain = core_schema.domain_of(column.attribute)
+            if not isinstance(domain, (IntegerDomain, FiniteDomain)):
+                findings.append(
+                    Finding(
+                        F_UNSUPPORTED_AGGREGATE,
+                        name,
+                        str(column),
+                        f"{column.func} over {column.attribute!r} is "
+                        "arithmetic on a label domain: the encoded codes "
+                        "are registration order, not numbers — use count, "
+                        "min or max, or aggregate an integer attribute",
+                    )
+                )
+
     # (a) satisfiability of the whole condition.
     if not is_satisfiable(nf.condition):
-        return (
+        findings.append(
             Finding(
                 F_UNSATISFIABLE_CONDITION,
                 name,
                 "condition",
                 f"condition {nf.condition} is unsatisfiable: the view is "
                 "empty in every database state",
-            ),
+            )
         )
+        # Every other check would fire vacuously; stop at the ERRORs.
+        return tuple(sorted(dict.fromkeys(findings), key=Finding.sort_key))
 
     # (b) dead disjuncts, then redundant atoms within live disjuncts,
     # then (c) loosenable bounds (skipping atoms already flagged
@@ -365,6 +397,7 @@ def _plan_lint_findings(
 
 def cross_view_findings(
     normal_forms: Mapping[str, "NormalForm"],
+    aggregates: Mapping[str, tuple | None] | None = None,
 ) -> tuple[Finding, ...]:
     """Duplicate and subsumed views across a catalog of normal forms.
 
@@ -377,6 +410,15 @@ def cross_view_findings(
       (one WARN on the lexicographically first view of the pair);
     * one-way implication + column subset → the implied-from view is
       subsumed: computable as a selection of the other (INFO).
+
+    ``aggregates`` maps each view name to its aggregate spec
+    fingerprint (``None`` for plain views).  A pair with *different*
+    entries is never comparable.  A pair with the *same* aggregate spec
+    over comparable cores still gets the duplicate check, but never the
+    subsumption check: a narrower condition selects a different core
+    row set per group, and aggregates of different row sets are not
+    derivable from one another (a SUM over fewer rows is not a
+    selection of the wider SUM).
 
     Views with unsatisfiable conditions are skipped here (they already
     carry an ERROR finding, and an empty view vacuously implies
@@ -393,6 +435,10 @@ def cross_view_findings(
             a = normal_forms[a_name]
             b = normal_forms[b_name]
             if not (satisfiable[a_name] and satisfiable[b_name]):
+                continue
+            a_agg = aggregates.get(a_name) if aggregates else None
+            b_agg = aggregates.get(b_name) if aggregates else None
+            if a_agg != b_agg:
                 continue
             if a.relation_names != b.relation_names:
                 continue
@@ -415,6 +461,10 @@ def cross_view_findings(
                             "conditions, same projected columns",
                         )
                     )
+                    continue
+                if a_agg is not None:
+                    # Equal aggregate specs over non-equivalent cores:
+                    # subsumption is undefined across aggregation.
                     continue
                 if set(a_proj) <= set(b_proj) and condition_implies(
                     a.condition, b.condition
@@ -530,6 +580,7 @@ def analyze_maintainer(maintainer: "ViewMaintainer") -> AnalysisReport:
     names = maintainer.view_names()
     findings: list[Finding] = []
     normal_forms: dict[str, "NormalForm"] = {}
+    aggregates: dict[str, tuple | None] = {}
     for name in names:
         view = maintainer.view(name)
         plan = maintainer.compiled_plan(name)
@@ -543,5 +594,7 @@ def analyze_maintainer(maintainer: "ViewMaintainer") -> AnalysisReport:
             )
         )
         normal_forms[name] = view.definition.normal_form
-    findings.extend(cross_view_findings(normal_forms))
+        spec = view.definition.aggregate
+        aggregates[name] = spec.fingerprint() if spec is not None else None
+    findings.extend(cross_view_findings(normal_forms, aggregates))
     return AnalysisReport(names, findings)

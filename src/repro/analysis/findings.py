@@ -76,6 +76,10 @@ F_DEAD_TRUTH_ROWS = "dead_truth_table_rows"
 #: base-free host (follower or shard) could carry it without base
 #: copies (see :mod:`repro.scheduler.selfmaint`).
 F_SELF_MAINTAINABLE = "self_maintainable_view"
+#: Check (h): an arithmetic aggregate (SUM/AVG) is computed over an
+#: attribute whose domain is a label space — the encoded codes carry no
+#: arithmetic meaning, so the view would be nonsense in every state.
+F_UNSUPPORTED_AGGREGATE = "unsupported_aggregate"
 
 #: Every valid code, mapped to its fixed severity.  Adding a code here
 #: is an API change; the vocabulary is otherwise closed.
@@ -90,6 +94,7 @@ CODE_SEVERITIES: Mapping[str, Severity] = {
     F_UNBOUND_OLD_OPERAND: Severity.WARN,
     F_DEAD_TRUTH_ROWS: Severity.INFO,
     F_SELF_MAINTAINABLE: Severity.INFO,
+    F_UNSUPPORTED_AGGREGATE: Severity.ERROR,
 }
 
 

@@ -73,6 +73,11 @@ Shell commands::
     delete from <name> values (v, ...) [, (v, ...)]*
     create view <name> as <rel> [join <rel>]* [where <condition>]
                                [select <attr>, <attr>, ...]
+                               [group by <attr>, ...]
+                               [compute <agg> as <alias>, ...]
+                               -- <agg> is count(), count(*), or one of
+                                  sum/avg/min/max(<attr>); `group by`
+                                  requires `compute` (docs/aggregates.md)
     create view <name> deferred as ...
     refresh <view>
     refresh --all | quiesce     -- apply every deferred view's backlog
@@ -321,13 +326,76 @@ class Shell:
         return self.database.relation(name).pretty()
 
 
+_AGG_COLUMN = re.compile(
+    r"(count|sum|avg|min|max)\s*\(\s*(\*|\w*)\s*\)\s+as\s+(\w+)\s*$",
+    re.IGNORECASE,
+)
+
+
+def _parse_aggregate_columns(text: str) -> list[tuple[str, str | None, str]]:
+    """``f(attr) as alias, ...`` → ``(func, attribute, alias)`` triples."""
+    columns: list[tuple[str, str | None, str]] = []
+    for piece in text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        match = _AGG_COLUMN.match(piece)
+        if not match:
+            raise ShellError(
+                f"cannot parse aggregate column {piece!r} "
+                "(expected 'count() as alias' or 'sum(attr) as alias')"
+            )
+        func = match.group(1).lower()
+        attribute: str | None = match.group(2) or None
+        if attribute == "*":
+            attribute = None
+        if func == "count":
+            if attribute is not None:
+                raise ShellError(
+                    f"count takes no attribute: write 'count() as "
+                    f"{match.group(3)}' or 'count(*) as {match.group(3)}'"
+                )
+        elif attribute is None:
+            raise ShellError(f"{func} needs an attribute, e.g. {func}(A)")
+        columns.append((func, attribute, match.group(3)))
+    if not columns:
+        raise ShellError("compute needs at least one aggregate column")
+    return columns
+
+
 def parse_view_expression(body: str) -> Expression:
-    """``<rel> [join <rel>]* [where <cond>] [select <attrs>]``.
+    """``<rel> [join <rel>]* [where <cond>] [select <attrs>]
+    [group by <keys>] [compute <aggs>]``.
 
     The shell's view grammar, shared with ``serve --view NAME=SPEC``.
     """
-    select_attrs: list[str] | None = None
     lowered = body.lower()
+    aggregate_columns: list[tuple[str, str | None, str]] | None = None
+    group_keys: list[str] = []
+    compute_index = lowered.rfind(" compute ")
+    if compute_index >= 0:
+        aggregate_columns = _parse_aggregate_columns(
+            body[compute_index + len(" compute "):]
+        )
+        body = body[:compute_index]
+        lowered = body.lower()
+    group_index = lowered.rfind(" group by ")
+    if group_index >= 0:
+        if aggregate_columns is None:
+            raise ShellError(
+                "group by requires a compute clause, e.g. "
+                "'r group by A compute count() as n'"
+            )
+        group_keys = [
+            k.strip()
+            for k in body[group_index + len(" group by "):].split(",")
+            if k.strip()
+        ]
+        if not group_keys:
+            raise ShellError("group by needs at least one attribute")
+        body = body[:group_index]
+        lowered = body.lower()
+    select_attrs: list[str] | None = None
     select_index = lowered.rfind(" select ")
     if select_index >= 0:
         select_attrs = [
@@ -356,6 +424,8 @@ def parse_view_expression(body: str) -> Expression:
         expression = expression.select(condition)
     if select_attrs:
         expression = expression.project(select_attrs)
+    if aggregate_columns is not None:
+        expression = expression.aggregate(group_keys, aggregate_columns)
     return expression
 
 

@@ -151,10 +151,32 @@ class ClusterCoordinator:
             name: RelationSchema(list(attrs))
             for name, attrs in self.tables.items()
         }
-        self.views: dict[str, NormalForm] = {
-            name: to_normal_form(expression, catalog)
-            for name, expression in views
-        }
+        # Routing works over each view's SPJ core: aggregate views are
+        # unwrapped (delta relevance is a property of the core), after
+        # checking that every partitioned operand's partition key is a
+        # grouping key — only then are groups shard-local, making the
+        # coordinator's bag-union merge of visible group rows exact.
+        self.views: dict[str, NormalForm] = {}
+        for name, expression in views:
+            from repro.algebra.aggregates import Aggregate
+
+            core = expression
+            if isinstance(expression, Aggregate):
+                expression.schema(catalog)
+                keys = set(expression.spec.keys)
+                for base in sorted(set(expression.base_names())):
+                    spec = topology.spec(base)
+                    if spec is not None and spec.key not in keys:
+                        raise ClusterError(
+                            f"aggregate view {name!r} groups without the "
+                            f"partition key {spec.key!r} of {base!r}: a "
+                            "group would span shards and per-shard "
+                            "aggregates could not be merged by union — "
+                            f"add {spec.key!r} to the grouping keys or "
+                            "replicate the relation"
+                        )
+                core = expression.child
+            self.views[name] = to_normal_form(core, catalog)
         with recording(self.recorder):
             self.routing: RoutingTable = build_routing_table(
                 topology, self.views, self.constraints

@@ -119,10 +119,11 @@ class ClusterSimConfig:
         self.routed = routed
         #: Every non-home shard hosts base-free (no base-relation
         #: copies).  Implies the self-maintainable view subset (``v_rt``
-        #: is dropped) and a workload whose partitioned-relation deletes
+        #: is dropped) and a workload whose partitioned-relation ops
         #: stay in the home shard's range — a base-free owner cannot
-        #: existence-check a delete, so only rows a full replica
-        #: validates may be deleted (the documented trust boundary).
+        #: existence-check a delete *or* detect a set-semantics
+        #: duplicate insert, so only rows a full replica validates may
+        #: be touched (the documented trust boundary).
         self.base_free = base_free
         self.drop_rate = drop_rate
         self.duplicate_rate = duplicate_rate
@@ -146,7 +147,11 @@ def cluster_workload(
     the join key to the home shard's range, making ``s`` provably
     skippable everywhere else; ``v_rt`` joins ``t`` without any range
     restriction, so ``t`` must broadcast — together they exercise
-    routed, skipped, and mixed delta paths in one workload.
+    routed, skipped, and mixed delta paths in one workload.  ``v_agg``
+    groups the partitioned relation on its partition key, so per-shard
+    group rows are shard-local and the bag-union merge is exact — the
+    sharded oracle then pins aggregate state and its changefeed mirror
+    to the single-node ground truth.
     """
     boundaries = even_boundaries(shards, 0, VALUE_RANGE - 1)
     low_cut = boundaries[0] if boundaries else VALUE_RANGE // 2
@@ -167,6 +172,12 @@ def cluster_workload(
             .select(f"A = C and A <= {low_cut}"),
         ),
         ("v_rt", BaseRef("r").join(BaseRef("t")).select("B = E")),
+        (
+            "v_agg",
+            BaseRef("r").aggregate(
+                ["A"], [("count", None, "n"), ("sum", "B", "total")]
+            ),
+        ),
     ]
     return topology, tables, rows, constraints, views
 
@@ -197,13 +208,12 @@ def generate_cluster_schedule(
                 if relation == "s" and rng.random() < 0.08:
                     row[0] = -1  # violates the declared constraint
                 target = deletes if rng.random() < 0.4 else inserts
-                if (
-                    config.base_free
-                    and target is deletes
-                    and relation == "r"
-                ):
-                    # Base-free owners cannot existence-check deletes;
-                    # keep partitioned deletes on the full home shard.
+                if config.base_free and relation == "r":
+                    # Base-free owners cannot existence-check: a delete
+                    # of an absent row and an insert of a present one
+                    # (a set-semantics no-op their raw netting would
+                    # count) both need a full replica to validate, so
+                    # partitioned ops stay on the full home shard.
                     row[0] = rng.randrange(home_max + 1)
                 target.setdefault(relation, []).append(row)
             schedule.append(

@@ -54,6 +54,7 @@ from repro.core.truthtable import DeltaRowChoice, Rows
 from repro.errors import MaintenanceError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.algebra.aggregates import AggregateSpec
     from repro.algebra.expressions import NormalForm
     from repro.core.irrelevance import RelevanceFilter
     from repro.core.planner import RowPlanner
@@ -64,7 +65,8 @@ ValueTuple = tuple[int, ...]
 #: the plan fingerprint so a cached plan compiled by an older generator
 #: can never be served to a newer runtime (and so toggling
 #: ``use_codegen`` evicts, rather than reuses, cached plans).
-CODEGEN_VERSION = 1
+#: v2: aggregate fold kernels (group-apply + unrolled renderers).
+CODEGEN_VERSION = 2
 
 #: Views with more occurrences than this fall back to the interpreter
 #: wholesale (the unrolled trie would be enormous and cold).
@@ -76,16 +78,25 @@ MAX_CODEGEN_ROWS = 64
 _PY_OPS = {"=": "==", "<": "<", ">": ">", "<=": "<=", ">=": ">="}
 
 
-def plan_fingerprint(normal_form: "NormalForm", use_codegen: bool) -> tuple:
+def plan_fingerprint(
+    normal_form: "NormalForm",
+    use_codegen: bool,
+    aggregate: "AggregateSpec | None" = None,
+) -> tuple:
     """The cache identity of a compiled plan.
 
     Extends the definition's structural fingerprint with the executable
     format: generated kernels are tagged with :data:`CODEGEN_VERSION`,
-    interpreter plans with a distinct marker.  The plan cache compares
-    this on every ``get``, so flipping ``use_codegen`` (or upgrading the
-    generator) evicts stale plans instead of executing them.
+    interpreter plans with a distinct marker.  Aggregate views mix in
+    their spec fingerprint — two views sharing one SPJ core but
+    different GROUP BY keys or aggregate lists are different
+    executables.  The plan cache compares this on every ``get``, so
+    flipping ``use_codegen`` (or upgrading the generator) evicts stale
+    plans instead of executing them.
     """
-    base = normal_form.fingerprint()
+    base: tuple = normal_form.fingerprint()
+    if aggregate is not None:
+        base = (base, aggregate.fingerprint())
     if use_codegen:
         return (base, ("codegen", CODEGEN_VERSION))
     return (base, ("interpreter",))
@@ -802,6 +813,157 @@ def _postfilter_expr(step, var: str) -> Optional[str]:
 
 
 # ----------------------------------------------------------------------
+# Aggregate fold kernels (group-apply over core deltas)
+# ----------------------------------------------------------------------
+
+def _key_tuple_expr(positions: Sequence[int], var: str) -> str:
+    """``(v[i], v[j],)`` for the grouping-key positions (``()`` if none)."""
+    if not positions:
+        return "()"
+    inner = ", ".join(f"{var}[{p}]" for p in positions)
+    return "(" + inner + ("," if len(positions) == 1 else "") + ")"
+
+
+def generate_aggregate_source(
+    spec: "AggregateSpec", core_schema: RelationSchema
+) -> str:
+    """Emit the fold kernel for one aggregate view.
+
+    The generated module holds two functions: ``render(k, bag)`` with
+    the view's column arithmetic unrolled (one shared pass accumulates
+    the group total and every SUM/AVG accumulator; MIN/MAX fold over
+    the bag's distinct rows), and ``fold_kernel(groups, ins, dele)``
+    applying one core delta to the support bags.  The kernel returns
+    ``(touched, before, after, bad)`` — the touched groups in delta
+    order, their rendered rows on both sides of the mutation, and the
+    offending core row when a delete underflows its group support
+    (``None`` otherwise); the driver
+    (:meth:`~repro.core.compiled.CompiledViewPlan.fold_aggregate`)
+    assembles the visible delta and charges the counters.  This is the
+    generated twin of :meth:`repro.core.aggregates.AggregateState.fold`
+    — both must agree cell for cell and in dict order.
+    """
+    positions = core_schema.positions(spec.keys)
+    plans = [
+        (
+            column.func,
+            -1
+            if column.attribute is None
+            else core_schema.index(column.attribute),
+        )
+        for column in spec.columns
+    ]
+    sum_positions = sorted(
+        {p for func, p in plans if func in ("sum", "avg")}
+    )
+
+    out = _Emitter()
+    out.emit(f"# aggregate kernel: {spec}")
+    out.emit(f"# core row layout: {tuple(core_schema.names)!r}")
+    out.emit()
+    out.emit("def render(k, bag):")
+    out.indent += 1
+    out.emit("total = 0")
+    for p in sum_positions:
+        out.emit(f"s{p} = 0")
+    out.emit("for v, c in bag.items():")
+    out.indent += 1
+    out.emit("total += c")
+    for p in sum_positions:
+        out.emit(f"s{p} += v[{p}] * c")
+    out.indent -= 1
+    out.emit("if total <= 0:")
+    out.indent += 1
+    out.emit("return None")
+    out.indent -= 1
+    cells = [f"k[{i}]" for i in range(len(positions))]
+    for func, p in plans:
+        if func == "count":
+            cells.append("total")
+        elif func == "sum":
+            cells.append(f"s{p}")
+        elif func == "avg":
+            cells.append(f"s{p} // total")
+        elif func == "min":
+            cells.append(f"min(v[{p}] for v in bag)")
+        else:  # max
+            cells.append(f"max(v[{p}] for v in bag)")
+    inner = ", ".join(cells)
+    out.emit(f"return ({inner}{',' if len(cells) == 1 else ''})")
+    out.indent -= 1
+    out.emit()
+
+    key = _key_tuple_expr(positions, "v")
+    out.emit("def fold_kernel(groups, ins, dele):")
+    out.indent += 1
+    out.emit("touched = {}")
+    out.emit("for v in ins:")
+    out.indent += 1
+    out.emit(f"touched[{key}] = 1")
+    out.indent -= 1
+    out.emit("for v in dele:")
+    out.indent += 1
+    out.emit(f"touched[{key}] = 1")
+    out.indent -= 1
+    out.emit("before = {}")
+    out.emit("for k in touched:")
+    out.indent += 1
+    out.emit("bag = groups.get(k)")
+    out.emit("if bag:")
+    out.indent += 1
+    out.emit("row = render(k, bag)")
+    out.emit("if row is not None:")
+    out.indent += 1
+    out.emit("before[k] = row")
+    out.indent -= 3
+    out.emit("for v, c in ins.items():")
+    out.indent += 1
+    out.emit(f"k = {key}")
+    out.emit("bag = groups.get(k)")
+    out.emit("if bag is None:")
+    out.indent += 1
+    out.emit("groups[k] = {v: c}")
+    out.indent -= 1
+    out.emit("else:")
+    out.indent += 1
+    out.emit("bag[v] = bag.get(v, 0) + c")
+    out.indent -= 2
+    out.emit("for v, c in dele.items():")
+    out.indent += 1
+    out.emit(f"k = {key}")
+    out.emit("bag = groups.get(k)")
+    out.emit("n = (bag.get(v, 0) if bag is not None else 0) - c")
+    out.emit("if n < 0:")
+    out.indent += 1
+    out.emit("return touched, before, {}, v")
+    out.indent -= 1
+    out.emit("if n:")
+    out.indent += 1
+    out.emit("bag[v] = n")
+    out.indent -= 1
+    out.emit("else:")
+    out.indent += 1
+    out.emit("del bag[v]")
+    out.emit("if not bag:")
+    out.indent += 1
+    out.emit("del groups[k]")
+    out.indent -= 3
+    out.emit("after = {}")
+    out.emit("for k in touched:")
+    out.indent += 1
+    out.emit("bag = groups.get(k)")
+    out.emit("if bag:")
+    out.indent += 1
+    out.emit("row = render(k, bag)")
+    out.emit("if row is not None:")
+    out.indent += 1
+    out.emit("after[k] = row")
+    out.indent -= 3
+    out.emit("return touched, before, after, None")
+    return out.source()
+
+
+# ----------------------------------------------------------------------
 # Compilation
 # ----------------------------------------------------------------------
 
@@ -824,6 +986,7 @@ _KERNEL_GLOBALS = {
 
 ScreenKernel = Callable[[list, int, bytearray], tuple[int, int]]
 RowKernel = Callable[..., tuple[dict, dict, int, int, int, int]]
+AggregateKernel = Callable[[dict, dict, dict], tuple[dict, dict, dict, object]]
 
 
 def compile_kernel(source: str, name: str, filename: str) -> Callable:

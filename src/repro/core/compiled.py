@@ -34,6 +34,7 @@ from repro.algebra.relation import Delta, Relation
 from repro.algebra.tags import Tag
 from repro.algebra.schema import RelationSchema
 from repro.core.codegen import (
+    AggregateKernel,
     CODEGEN_VERSION,
     CodegenStats,
     DeltaBatch,
@@ -44,6 +45,7 @@ from repro.core.codegen import (
     codegen_rows,
     compile_kernel,
     compile_shape_kernels,
+    generate_aggregate_source,
     generate_screen_source,
     generate_shape_source,
     plan_fingerprint,
@@ -66,6 +68,7 @@ from repro.errors import MaintenanceError
 from repro.instrumentation import charge
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.aggregates import AggregateState
     from repro.engine.database import Database
     from repro.engine.indexes import HashIndex
 
@@ -116,6 +119,8 @@ class CompiledViewPlan:
         "_codegen_stats",
         "_screen_kernels",
         "_shape_kernels",
+        "_aggregate_source",
+        "_aggregate_kernel",
     )
 
     def __init__(
@@ -137,7 +142,7 @@ class CompiledViewPlan:
         #: serve a plan whose fingerprint no longer matches the
         #: registered view *and current execution mode*.
         self.fingerprint: tuple = plan_fingerprint(
-            self.normal_form, use_codegen
+            self.normal_form, use_codegen, definition.aggregate
         )
         self.share_subexpressions = share_subexpressions
         self.use_indexes = use_indexes
@@ -193,6 +198,11 @@ class CompiledViewPlan:
         # like the planners they mirror.
         self._screen_kernels: dict[str, tuple[str, ScreenKernel]] = {}
         self._shape_kernels: dict[tuple[int, ...], ShapeKernels | None] = {}
+        # The aggregate fold kernel (when the view aggregates) compiles
+        # eagerly with the screens: its shape depends only on the spec
+        # and core schema, never on the incoming delta.
+        self._aggregate_source: str | None = None
+        self._aggregate_kernel: AggregateKernel | None = None
         if use_codegen:
             for name in sorted(self._screens):
                 source = generate_screen_source(
@@ -207,6 +217,16 @@ class CompiledViewPlan:
                     f"<codegen:{definition.name}:screen:{name}>",
                 )
                 self._screen_kernels[name] = (source, kernel)
+            if definition.aggregate is not None:
+                source = generate_aggregate_source(
+                    definition.aggregate, self.normal_form.output_schema()
+                )
+                self._aggregate_source = source
+                self._aggregate_kernel = compile_kernel(
+                    source,
+                    "fold_kernel",
+                    f"<codegen:{definition.name}:aggregate>",
+                )
             charge("codegen_plans_compiled")
             if codegen_stats is not None:
                 codegen_stats.plans_compiled += 1
@@ -330,6 +350,61 @@ class CompiledViewPlan:
             changed,
             index_probe=self.index_probe_for(deltas),
         )
+
+    def fold_aggregate(
+        self, state: "AggregateState", core_delta: Delta
+    ) -> Delta:
+        """Fold one core delta into the support state; visible delta out.
+
+        The final stage of aggregate maintenance: the Section 5 pipeline
+        produced ``core_delta`` over the view's SPJ core, and this fold
+        applies it to the per-group support bags, re-rendering every
+        touched group.  A group whose visible row changes contributes a
+        delete of the old row and an insert of the new one (a keyed
+        upsert, from the changefeed's point of view); a group that
+        appears or disappears contributes just the insert or delete.
+
+        Runs the generated fold kernel under ``use_codegen`` and the
+        interpreter fold otherwise; the two mirror each other exactly,
+        and both counters — ``aggregate_rows_folded`` and
+        ``aggregate_groups_touched`` — are charged here in the shared
+        driver, so the ablation stays counter-for-counter comparable.
+        """
+        ins = core_delta.inserted
+        dele = core_delta.deleted
+        rows = len(ins) + len(dele)
+        if rows:
+            charge("aggregate_rows_folded", rows)
+        if self.use_codegen and self._aggregate_kernel is not None:
+            touched, before, after, bad = self._aggregate_kernel(
+                state.groups, ins, dele
+            )
+            if rows:
+                charge("codegen_batch_rows", rows)
+                if self._codegen_stats is not None:
+                    self._codegen_stats.batch_rows += rows
+        else:
+            touched, before, after, bad = state.fold(ins, dele)
+        if bad is not None:
+            raise MaintenanceError(
+                f"aggregate maintenance for view {self.definition.name!r} "
+                f"would delete more copies of core row {bad} than the "
+                "group support holds"
+            )
+        if touched:
+            charge("aggregate_groups_touched", len(touched))
+        inserted: dict[ValueTuple, int] = {}
+        deleted: dict[ValueTuple, int] = {}
+        for key in touched:
+            b = before.get(key)
+            a = after.get(key)
+            if b == a:
+                continue
+            if b is not None:
+                deleted[b] = 1
+            if a is not None:
+                inserted[a] = 1
+        return Delta.from_counts(state.visible_schema, inserted, deleted)
 
     def _shape_kernels_for(
         self, changed: tuple[int, ...], planner: RowPlanner
@@ -514,6 +589,7 @@ class CompiledViewPlan:
                 f"({MAX_CODEGEN_OPERANDS}); every shape runs on the "
                 "interpreter\n"
             )
+            parts.extend(self._aggregate_source_parts())
             return "\n".join(parts)
         shapes = [(i,) for i in range(width)]
         if width > 1:
@@ -527,7 +603,20 @@ class CompiledViewPlan:
                 )
                 continue
             parts.append(generate_shape_source(self.planner_for(shape), rows))
+        parts.extend(self._aggregate_source_parts())
         return "\n".join(parts)
+
+    def _aggregate_source_parts(self) -> list[str]:
+        """The aggregate fold kernel listing (empty for plain views)."""
+        if self.definition.aggregate is None:
+            return []
+        if self._aggregate_source is not None:
+            return [self._aggregate_source]
+        return [
+            generate_aggregate_source(
+                self.definition.aggregate, self.normal_form.output_schema()
+            )
+        ]
 
     def describe(self, changed_relations: Iterable[str]) -> str:
         """The compiled plan, as text, for a hypothetical update.
@@ -588,6 +677,13 @@ class CompiledViewPlan:
             )
         if not bound_any:
             lines.append("  (none: no OLD operand is joined by equality links)")
+        if self.definition.aggregate is not None:
+            mode = (
+                "generated fold kernel" if self.use_codegen else "interpreter fold"
+            )
+            lines.append(
+                f"aggregate stage ({mode}): {self.definition.aggregate}"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:

@@ -238,13 +238,38 @@ class ViewMaintainer:
         through the normal differential pipeline — the view is never
         recomputed from scratch.
 
-        ``contents`` must match the definition's output schema by
-        attribute names; its rows are re-encoded against the catalog's
-        domains.  ``verify`` recomputes the view and compares, turning a
-        stale or tampered snapshot into an immediate error instead of a
-        silently diverging view.
+        ``contents`` must match the definition's *stored* schema by
+        attribute names — the visible schema for plain views, the SPJ
+        core's schema for aggregate views (checkpoints persist the core
+        support relation; visible group rows are derived and re-rendered
+        here).  Rows are re-encoded against the catalog's domains.
+        ``verify`` recomputes the view and compares, turning a stale or
+        tampered snapshot into an immediate error instead of a silently
+        diverging view.
         """
         definition, referenced = self._validated_definition(name, expression)
+        if definition.aggregate is not None:
+            expected = definition.normal_form.output_schema()
+            if tuple(contents.schema.names) != tuple(expected.names):
+                raise MaintenanceError(
+                    f"restored contents for aggregate view {name!r} have "
+                    f"schema {list(contents.schema.names)}, expected the "
+                    f"core support schema {list(expected.names)} (aggregate "
+                    "checkpoints store the core rows, not the rendered "
+                    "group rows)"
+                )
+            adopted = Relation(expected)
+            for values, count in contents.items():
+                adopted.add(tuple(contents.schema.decode_values(values)), count)
+            from repro.core.aggregates import AggregateState
+
+            state = AggregateState.from_core(definition.aggregate, adopted)
+            view = MaterializedView(definition, state.visible_relation(), state)
+            if verify:
+                from repro.core.consistency import check_view_consistency
+
+                check_view_consistency(view, self._combined_instances())
+            return self._install_view(view, referenced, policy)
         expected = definition.output_schema()
         if tuple(contents.schema.names) != tuple(expected.names):
             raise MaintenanceError(
@@ -356,8 +381,9 @@ class ViewMaintainer:
         oracle compares cached plans against.
         """
         self._require_view(name)
+        definition = self._views[name].definition
         return plan_fingerprint(
-            self._views[name].definition.normal_form, self.use_codegen
+            definition.normal_form, self.use_codegen, definition.aggregate
         )
 
     def codegen_stats(self) -> CodegenStats:
@@ -380,7 +406,7 @@ class ViewMaintainer:
         view = self._views[name]
         stats = self._stats[name]
         fingerprint = plan_fingerprint(
-            view.definition.normal_form, self.use_codegen
+            view.definition.normal_form, self.use_codegen, view.definition.aggregate
         )
         plan = self._plan_cache.get(name, fingerprint)
         if plan is not None:
@@ -821,6 +847,12 @@ class ViewMaintainer:
                 return Delta(view.contents.schema)
 
             view_delta = plan.compute_delta(self._combined_instances(), relevant)
+            if view.aggregate_state is not None:
+                # The pipeline produced a delta over the SPJ *core*; the
+                # fold stage turns it into the visible group-row delta
+                # every downstream consumer (contents, subscribers,
+                # changefeeds, stacked views) sees.
+                view_delta = plan.fold_aggregate(view.aggregate_state, view_delta)
         finally:
             self._in_maintenance = False
         stats.view_tuples_inserted += len(view_delta.inserted)

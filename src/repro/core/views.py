@@ -6,21 +6,45 @@ resulting from evaluating that expression against a database instance.
 :class:`ViewDefinition` carries the expression plus its paper normal
 form; :class:`MaterializedView` pairs a definition with the stored
 counted relation and the bookkeeping the maintainer needs.
+
+Aggregate views ride on the same structure: the definition peels a
+top-level :class:`~repro.algebra.aggregates.Aggregate` node off, keeps
+its :class:`~repro.algebra.aggregates.AggregateSpec`, and normalizes
+only the SPJ *core* — the Section 5 delta pipeline maintains the core,
+and a final fold stage (:mod:`repro.core.aggregates`) turns core deltas
+into visible group-row deltas.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping, Optional
 
-from repro.algebra.expressions import Expression, NormalForm, to_normal_form
+from repro.algebra.aggregates import Aggregate, AggregateSpec
+from repro.algebra.expressions import (
+    Expression,
+    NormalForm,
+    Project,
+    to_normal_form,
+)
 from repro.algebra.relation import Delta, Relation
 from repro.algebra.schema import RelationSchema
 from repro.errors import ViewDefinitionError
 
-class ViewDefinition:
-    """A named SPJ view definition, validated against a schema catalog."""
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.aggregates import AggregateState
 
-    __slots__ = ("name", "expression", "normal_form")
+class ViewDefinition:
+    """A named SPJ (optionally aggregated) view definition.
+
+    For plain views ``normal_form`` is the normalized expression.  For
+    aggregate views ``expression`` keeps the full ``Aggregate`` node
+    (full recompute and consistency checks evaluate it), ``aggregate``
+    holds the spec, and ``normal_form`` is the normalized *core* —
+    projected down to exactly the attributes the aggregation reads, so
+    the maintained support state is as narrow as possible.
+    """
+
+    __slots__ = ("name", "expression", "normal_form", "aggregate")
 
     def __init__(
         self,
@@ -32,8 +56,20 @@ class ViewDefinition:
             raise ViewDefinitionError(f"view name must be a non-empty string: {name!r}")
         self.name = name
         self.expression = expression
-        # to_normal_form validates SPJ membership and well-formedness.
-        self.normal_form: NormalForm = to_normal_form(expression, catalog)
+        self.aggregate: Optional[AggregateSpec] = None
+        core = expression
+        if isinstance(expression, Aggregate):
+            # Validates the whole tree, including that the core really
+            # produces every key and aggregate input attribute.
+            expression.schema(catalog)
+            self.aggregate = expression.spec
+            core_attrs = expression.spec.core_attributes()
+            core = expression.child
+            if core_attrs and tuple(core.schema(catalog).names) != core_attrs:
+                core = Project(core, core_attrs)
+        # to_normal_form validates SPJ membership and well-formedness
+        # (and rejects any non-outermost Aggregate left in the tree).
+        self.normal_form: NormalForm = to_normal_form(core, catalog)
 
     @property
     def relation_names(self) -> frozenset[str]:
@@ -41,7 +77,9 @@ class ViewDefinition:
         return frozenset(self.normal_form.relation_names)
 
     def output_schema(self) -> RelationSchema:
-        """Schema of the view's tuples."""
+        """Schema of the view's *visible* tuples."""
+        if self.aggregate is not None:
+            return self.aggregate.output_schema(self.normal_form.output_schema())
         return self.normal_form.output_schema()
 
     def __repr__(self) -> str:
@@ -56,11 +94,25 @@ class MaterializedView:
     mutate only through the maintainer.
     """
 
-    __slots__ = ("definition", "contents", "updates_applied", "last_refresh_sequence")
+    __slots__ = (
+        "definition",
+        "contents",
+        "aggregate_state",
+        "updates_applied",
+        "last_refresh_sequence",
+    )
 
-    def __init__(self, definition: ViewDefinition, contents: Relation) -> None:
+    def __init__(
+        self,
+        definition: ViewDefinition,
+        contents: Relation,
+        aggregate_state: "AggregateState | None" = None,
+    ) -> None:
         self.definition = definition
         self.contents = contents
+        #: Per-group core support bags for aggregate views (None for
+        #: plain SPJ views); ``contents`` holds the derived visible rows.
+        self.aggregate_state = aggregate_state
         #: Number of non-empty deltas applied since materialization.
         self.updates_applied = 0
         #: Log sequence the view is current as of (deferred maintenance).
@@ -75,11 +127,30 @@ class MaterializedView:
         Uses the pipelined normal-form evaluator (hash joins, selection
         pushdown); the naive tree evaluator stays available as an
         independent oracle via :func:`repro.algebra.evaluate.evaluate`.
+        For aggregate views the core is evaluated, grouped into the
+        support state, and the visible rows rendered from it.
         """
         from repro.core.planner import evaluate_normal_form
 
         contents = evaluate_normal_form(definition.normal_form, instances)
+        if definition.aggregate is not None:
+            from repro.core.aggregates import AggregateState
+
+            state = AggregateState.from_core(definition.aggregate, contents)
+            return cls(definition, state.visible_relation(), state)
         return cls(definition, contents)
+
+    def stored_contents(self) -> Relation:
+        """The relation checkpoints persist.
+
+        Plain views store their contents directly.  Aggregate views
+        store the *core support* relation — the visible rows are derived
+        state, and restoring MIN/MAX soundly needs the per-value support
+        back (see :meth:`repro.core.aggregates.AggregateState.stored_contents`).
+        """
+        if self.aggregate_state is not None:
+            return self.aggregate_state.stored_contents()
+        return self.contents
 
     def apply_delta(self, delta: Delta) -> None:
         """Apply a computed view delta to the stored contents."""

@@ -90,9 +90,12 @@ def write_checkpoint(
     if maintainer is not None:
         for name in maintainer.view_names():
             view = maintainer.view(name)
+            # Aggregate views persist their core support relation (the
+            # visible group rows are derived state); plain views persist
+            # their contents.  Same document shape either way.
             views[name] = {
                 "policy": maintainer.policy(name).value,
-                "relation": relation_to_document(view.contents),
+                "relation": relation_to_document(view.stored_contents()),
             }
     doc = {
         "format": CHECKPOINT_FORMAT_VERSION,

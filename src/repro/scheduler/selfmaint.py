@@ -72,6 +72,14 @@ KIND_CONSTRAINT_EMPTY = "constraint_empty_join"
 #: cannot be recovered from view contents alone (the empty-view
 #: obstruction), so base state is required.
 KIND_JOIN = "join"
+#: Any MIN/MAX aggregate column: deleting the current extremum needs the
+#: runner-up, which the visible group rows do not determine — the
+#: per-value support multiset is base-proportional auxiliary state.
+KIND_AGGREGATE_MINMAX = "aggregate_minmax"
+#: ``p == 1`` with only COUNT/SUM/AVG columns: the core delta is the
+#: shipped delta itself, and the fold touches bounded per-group
+#: accumulators only.
+KIND_SINGLE_RELATION_AGGREGATE = "single_relation_aggregate"
 
 
 class _ConstraintLookup(Protocol):
@@ -124,8 +132,34 @@ def classify_self_maintainability(
     name = definition.name
     charge("self_maintainability_proofs")
 
+    aggregate = definition.aggregate
+    if aggregate is not None and aggregate.has_minmax:
+        funcs = ", ".join(
+            sorted({c.func for c in aggregate.columns if c.func in ("min", "max")})
+        )
+        return SelfMaintainability(
+            name,
+            False,
+            KIND_AGGREGATE_MINMAX,
+            f"aggregate view computes {funcs}: deleting the current "
+            "extremum requires the group's runner-up, which no bounded "
+            "per-group accumulator determines — the per-value support "
+            "multiset is base-proportional auxiliary state a base-free "
+            "host must not carry",
+        )
+
     if len(normal_form.occurrences) == 1:
         relation = normal_form.occurrences[0].name
+        if aggregate is not None:
+            return SelfMaintainability(
+                name,
+                True,
+                KIND_SINGLE_RELATION_AGGREGATE,
+                f"single occurrence of {relation!r} under COUNT/SUM/AVG "
+                "aggregation: the core delta is the shipped delta itself "
+                "(delta-only plan row, no OLD operand), and the fold "
+                "updates bounded per-group accumulators",
+            )
         return SelfMaintainability(
             name,
             True,

@@ -66,6 +66,22 @@ def verify_maintainer(label: str, maintainer: "ViewMaintainer") -> list[str]:
     for name, report in maintainer.verify_all(raise_on_mismatch=False).items():
         if not report.is_consistent():
             divergences.append(f"{label}: {report.summary()}")
+    # Aggregate views carry internal per-group support bags; the rows
+    # they render must agree with the cached visible contents (a fold
+    # that mutated the bags but mis-rendered a group would otherwise
+    # slip past the expression-level recompute above only by luck).
+    for name in maintainer.view_names():
+        state = maintainer.view(name).aggregate_state
+        if state is None:
+            continue
+        rendered = state.visible_relation().counts()
+        visible = maintainer.view(name).contents.counts()
+        if rendered != visible:
+            divergences.append(
+                f"{label}: aggregate view {name!r} support bags render "
+                f"{len(rendered)} group row(s) but the visible contents "
+                f"hold {len(visible)} — internal state diverged"
+            )
     live = {
         name: maintainer.expected_plan_fingerprint(name)
         for name in maintainer.view_names()
@@ -209,6 +225,13 @@ def verify_base_free_follower(
     }
     for name in sorted(follower.maintainer.view_names()):
         view = follower.maintainer.view(name)
+        if view.aggregate_state is not None:
+            rendered = view.aggregate_state.visible_relation().counts()
+            if rendered != view.contents.counts():
+                divergences.append(
+                    f"{label}: aggregate view {name!r} support bags "
+                    "disagree with the visible contents"
+                )
         want = evaluate(view.definition.expression, instances).counts()
         have = view.contents.counts()
         if want == have:

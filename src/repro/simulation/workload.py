@@ -106,6 +106,15 @@ def random_spj_expression(
     raw products stay small.  Used both by the simulator's workload and
     by the hypothesis strategies in ``tests/strategies.py``.
     """
+    return _random_spj_core(rng, tables, max_operands)[0]
+
+
+def _random_spj_core(
+    rng: random.Random,
+    tables: dict[str, tuple[str, ...]] | None,
+    max_operands: int,
+) -> tuple[Expression, list[str]]:
+    """The SPJ generator body, also reporting the output attributes."""
     if tables is None:
         tables = BASE_TABLES
     weights = [0.35, 0.45, 0.2][: max(1, min(max_operands, 3))]
@@ -133,9 +142,38 @@ def random_spj_expression(
         expression = Select(expression, Condition([Conjunction(atoms)]))
 
     if rng.random() < 0.8:
-        kept = rng.sample(attributes, rng.randint(1, len(attributes)))
-        expression = Project(expression, sorted(kept))
-    return expression
+        kept = sorted(rng.sample(attributes, rng.randint(1, len(attributes))))
+        expression = Project(expression, kept)
+        attributes = kept
+    return expression, list(attributes)
+
+
+def random_aggregate_expression(
+    rng: random.Random,
+    tables: dict[str, tuple[str, ...]] | None = None,
+    max_operands: int = 2,
+    allow_minmax: bool = True,
+) -> Expression:
+    """A random GROUP BY view over a random SPJ core.
+
+    The core comes from the same generator as the plain SPJ views; on
+    top of it, a random subset of the core's output attributes becomes
+    the grouping key (possibly empty — a global aggregate) and one to
+    three aggregate columns are drawn from COUNT/SUM/AVG (plus MIN/MAX
+    unless ``allow_minmax`` is off — base-free hosts reject MIN/MAX, so
+    the base-free follower workload pins it off).  Used by the episode
+    machine and re-exported to hypothesis via ``tests/strategies.py``.
+    """
+    core, attributes = _random_spj_core(rng, tables, max_operands)
+    key_count = rng.randint(0, len(attributes) - 1) if len(attributes) > 1 else 0
+    keys = sorted(rng.sample(attributes, key_count)) if key_count else []
+    functions = ["count", "sum", "avg"] + (["min", "max"] if allow_minmax else [])
+    columns: list[tuple[str, str | None, str]] = []
+    for index in range(rng.randint(1, 3)):
+        func = rng.choice(functions)
+        attribute = None if func == "count" else rng.choice(attributes)
+        columns.append((func, attribute, f"agg{index}"))
+    return core.aggregate(keys, columns)
 
 
 def _random_row(rng: random.Random, arity: int) -> list[int]:
@@ -274,7 +312,7 @@ def _payload(
             }
         return payload
     if kind == "client_query":
-        targets = sorted(BASE_TABLES) + ["v0", "v1", "vd"]
+        targets = sorted(BASE_TABLES) + ["v0", "v1", "va", "vd"]
         return {
             "client": rng.randrange(config.clients),
             "target": rng.choice(targets),
@@ -375,6 +413,14 @@ class Episode:
             expression = random_spj_expression(rng)
             self.maintainer.define_view(name, expression, policy=policy)
             self.views[name] = (expression, policy)
+        # One aggregate view rides every episode, so crash/recovery,
+        # checkpoints, changefeeds and the oracle rounds all exercise
+        # the grouped-accumulator path alongside the plain SPJ views.
+        aggregate = random_aggregate_expression(rng)
+        self.maintainer.define_view(
+            "va", aggregate, policy=MaintenancePolicy.IMMEDIATE
+        )
+        self.views["va"] = (aggregate, MaintenancePolicy.IMMEDIATE)
         self.durability = DurabilityManager(
             self.database,
             self.directory,
@@ -420,9 +466,19 @@ class Episode:
                 use_codegen=self.config.use_codegen,
             )
             name = f"g{index}"
-            expression = random_spj_expression(
-                rng, max_operands=1 if base_free else 3
-            )
+            # Followers host aggregate views too; base-free ones only
+            # get the self-maintainable subset (single relation, no
+            # MIN/MAX — shedding would otherwise be rightly refused).
+            if rng.random() < 0.4:
+                expression = random_aggregate_expression(
+                    rng,
+                    max_operands=1 if base_free else 2,
+                    allow_minmax=not base_free,
+                )
+            else:
+                expression = random_spj_expression(
+                    rng, max_operands=1 if base_free else 3
+                )
             follower.define_view(name, expression)
             self.follower_views.append((name, expression, base_free))
             lossy = self.config.partitions
@@ -439,7 +495,10 @@ class Episode:
     def _build_clients(self) -> None:
         self.clients: list[SimClient] = []
         for index in range(self.config.clients):
-            view_name = "v0" if index % 2 == 0 else "v1"
+            # Subscriptions rotate over a plain view, the aggregate view
+            # and a second plain view, so two clients already put an
+            # aggregate changefeed mirror under verification.
+            view_name = ("v0", "va", "v1")[index % 3]
             self.clients.append(SimClient(f"c{index}", self.clock, view_name))
         self._ensure_clients()
 

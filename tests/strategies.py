@@ -8,7 +8,11 @@ from hypothesis import strategies as st
 
 from repro.algebra.conditions import Atom, Condition, Conjunction
 from repro.algebra.expressions import Expression
-from repro.simulation.workload import BASE_TABLES, random_spj_expression
+from repro.simulation.workload import (
+    BASE_TABLES,
+    random_aggregate_expression,
+    random_spj_expression,
+)
 
 #: Small integer constants, biased toward the interesting region.
 small_ints = st.integers(min_value=-8, max_value=8)
@@ -108,6 +112,74 @@ def spj_expressions(draw, max_operands: int = 3) -> Expression:
     """
     seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
     return random_spj_expression(random.Random(seed), max_operands=max_operands)
+
+
+@st.composite
+def aggregate_expressions(
+    draw, max_operands: int = 2, allow_minmax: bool = True
+) -> Expression:
+    """Random GROUP BY views over random SPJ cores.
+
+    Same seed-delegation trick as :func:`spj_expressions`: hypothesis
+    shrinks the seed, :func:`repro.simulation.workload.
+    random_aggregate_expression` turns it into the identical view
+    population the simulator runs — COUNT/SUM/AVG/MIN/MAX columns over
+    a random grouping key (possibly empty, a global aggregate).
+    ``allow_minmax=False`` draws the self-maintainable subset the
+    base-free hosts accept.
+    """
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return random_aggregate_expression(
+        random.Random(seed),
+        max_operands=max_operands,
+        allow_minmax=allow_minmax,
+    )
+
+
+@st.composite
+def update_streams(
+    draw,
+    max_txns: int = 6,
+    max_ops: int = 4,
+    value_max: int = 6,
+):
+    """A random legal update stream over the SPJ_TABLES schema.
+
+    Returns ``(initial_rows, transactions)`` where each transaction is
+    a list of ``("ins"|"del", table, row)`` ops.  Deletes only target
+    rows live at that point in the stream (initial contents plus
+    not-yet-deleted inserts), so every transaction commits — the
+    property suites replay the stream through commit/refresh/WAL paths
+    without tripping existence checks.
+    """
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = random.Random(seed)
+    initial = spj_database_rows(rng)
+    live: dict[str, list[tuple[int, ...]]] = {
+        name: list(rows) for name, rows in initial.items()
+    }
+    transactions: list[list[tuple[str, str, tuple[int, ...]]]] = []
+    for _ in range(draw(st.integers(min_value=1, max_value=max_txns))):
+        ops: list[tuple[str, str, tuple[int, ...]]] = []
+        for _ in range(rng.randint(1, max_ops)):
+            name = rng.choice(sorted(SPJ_TABLES))
+            if live[name] and rng.random() < 0.45:
+                row = live[name].pop(rng.randrange(len(live[name])))
+                ops.append(("del", name, row))
+            else:
+                row = tuple(
+                    rng.randint(0, value_max) for _ in SPJ_TABLES[name]
+                )
+                if row in live[name]:
+                    # Set semantics: a duplicate insert is a no-op, so
+                    # don't record it as live twice (its single delete
+                    # would otherwise be drawn twice).
+                    ops.append(("ins", name, row))
+                else:
+                    live[name].append(row)
+                    ops.append(("ins", name, row))
+        transactions.append(ops)
+    return initial, transactions
 
 
 def spj_database_rows(rng: random.Random, rows_per_table: int = 6):

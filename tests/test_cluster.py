@@ -203,8 +203,17 @@ class TestRouting:
             name: RelationSchema(list(attrs))
             for name, attrs in tables.items()
         }
+        from repro.algebra.aggregates import Aggregate
+
+        # Routing sees the SPJ core: the coordinator peels Aggregate
+        # nodes (v_agg) before normal-forming, and so must we.
         normal_forms = {
-            name: to_normal_form(expression, catalog)
+            name: to_normal_form(
+                expression.child
+                if isinstance(expression, Aggregate)
+                else expression,
+                catalog,
+            )
             for name, expression in views
         }
         table = build_routing_table(topology, normal_forms, constraints)

@@ -50,6 +50,7 @@ from repro.simulation.runner import (
 from repro.simulation.workload import (
     BASE_TABLES,
     Episode,
+    random_aggregate_expression,
     random_spj_expression,
 )
 
@@ -316,6 +317,58 @@ class TestRandomSpjExpressions:
             report = maintainer.verify_all(raise_on_mismatch=False)[name]
             assert report.is_consistent(), report.summary()
             maintainer.drop_view(name)
+
+    def test_aggregate_views_same_seed_same_expression(self):
+        for seed in range(30):
+            first = random_aggregate_expression(random.Random(seed))
+            second = random_aggregate_expression(random.Random(seed))
+            assert repr(first) == repr(second)
+
+    def test_generated_aggregate_views_are_definable_and_consistent(self):
+        from repro.algebra.aggregates import Aggregate
+
+        rng = random.Random(23)
+        database = Database()
+        for name in sorted(BASE_TABLES):
+            attributes = BASE_TABLES[name]
+            rows = sorted(
+                {
+                    tuple(rng.randint(0, 6) for _ in attributes)
+                    for _ in range(6)
+                }
+            )
+            database.create_relation(name, attributes, rows)
+        maintainer = ViewMaintainer(database)
+        for index in range(25):
+            expression = random_aggregate_expression(random.Random(2000 + index))
+            assert isinstance(expression, Aggregate)
+            name = f"agg{index}"
+            maintainer.define_view(
+                name, expression, policy=MaintenancePolicy.IMMEDIATE
+            )
+            report = maintainer.verify_all(raise_on_mismatch=False)[name]
+            assert report.is_consistent(), report.summary()
+            maintainer.drop_view(name)
+
+    def test_base_free_aggregate_views_are_self_maintainable(self):
+        # The base-free follower workload draws single-relation,
+        # MIN/MAX-free aggregates — every one must classify as
+        # self-maintainable or shedding would be refused mid-episode.
+        from repro.core.views import ViewDefinition
+        from repro.scheduler.selfmaint import classify_self_maintainability
+
+        database = Database()
+        for name in sorted(BASE_TABLES):
+            database.create_relation(name, BASE_TABLES[name])
+        for seed in range(40):
+            expression = random_aggregate_expression(
+                random.Random(seed), max_operands=1, allow_minmax=False
+            )
+            definition = ViewDefinition(
+                "probe", expression, database.schema_catalog()
+            )
+            verdict = classify_self_maintainability(definition)
+            assert verdict.self_maintainable, verdict.reason
 
     def test_operand_count_respects_the_table_set(self):
         from repro.algebra.expressions import BaseRef, Join, Project, Select
@@ -690,6 +743,29 @@ class TestSimBatches:
         assert report.ok, report.format()
         assert report.stats["crashes"] >= 1
         assert report.stats["partitions"] >= 1
+
+    @pytest.mark.skipif(not SMOKE, reason="set REPRO_SIM_SMOKE=1 to run")
+    def test_smoke_batch_aggregates(self):
+        """Aggregate-view coverage: every episode carries the grouped
+        view ``va`` (plus aggregate follower views and an aggregate
+        changefeed subscriber), under crashes and partitions, in both
+        codegen modes — the oracle rounds pin its support bags, visible
+        rows and client mirrors to the full recompute."""
+        for use_codegen in (True, False):
+            config = SimulationConfig(
+                seed=2026,
+                episodes=6,
+                events=45,
+                followers=2,
+                clients=3,
+                crashes=True,
+                partitions=True,
+                ddl=True,
+                use_codegen=use_codegen,
+            )
+            report = run_simulation(config)
+            assert report.ok, report.format()
+            assert report.stats["oracle_checks"] >= 6
 
     @pytest.mark.skipif(not FULL, reason="set REPRO_SIM_FULL=1 to run")
     def test_full_acceptance_batch(self):
