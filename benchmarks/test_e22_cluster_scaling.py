@@ -58,7 +58,7 @@ def _stream(count):
 
 
 def _run(shards, routed=True):
-    topology, tables, rows, constraints, views = cluster_workload(shards)
+    topology, tables, rows, constraints, _, views = cluster_workload(shards)
     coordinator = build_cluster(
         topology, tables, rows, constraints, views, routed=routed
     )

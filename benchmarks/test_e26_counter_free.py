@@ -1,0 +1,219 @@
+"""E26 — counter-free apply kernels vs full Section 5.2 counters.
+
+When the chase over declared keys derives a *view key* (no two
+materialized rows agree on it), every view row's multiplicity is
+provably one, and the generated apply kernels may pin the Section 5.2
+counters — ``ins[k] = 1`` instead of ``ins[k] = ins.get(k, 0) + c`` —
+with no per-row dictionary arithmetic (docs/analysis.md, the
+``counter_free`` finding).  This experiment drives two keyed views —
+
+* ``fkj = π_{A,B}(r ⋈ p)``: FK-reduced *and* counter-free — the plan
+  executes over r's delta alone, probe deltas into p dropped wholesale;
+* ``wide = r ⋈ p``: counter-free but not reducible (it projects the
+  probe payload C), so the probe work is identical on both sides and
+  the ablation isolates the counter arithmetic;
+
+through an identical seeded, key/FK-legal commit stream twice: once
+with ``use_counter_free=True`` (the default) and once pinned to full
+counters.  The ablation asserts the maintained contents are
+byte-for-byte identical and that every abstract work counter matches —
+the counters are the only thing elided, never screening, probing or
+evaluation work.  The headline is the apply-path overhead the elision
+removes, reported as stream wall-clock.
+
+Set ``REPRO_E26_SMOKE=1`` (CI does) to shrink the stream to a smoke
+run of the same code paths.  Set ``REPRO_E26_RECORD=1`` to append the
+measured numbers to ``BENCH_E26.json`` at the repo root.
+"""
+
+import json
+import random
+import time
+from datetime import date
+from pathlib import Path
+
+from benchmarks.conftest import record_env, smoke_env
+from repro import BaseRef, Database, ViewMaintainer
+from repro.bench.reporting import format_table
+from repro.instrumentation import CostRecorder, recording
+
+SMOKE = smoke_env("E26")
+RECORD = record_env("E26")
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_E26.json"
+
+TXNS = 30 if SMOKE else 300
+PARENTS = 20 if SMOKE else 120
+SEED_CHILDREN = 40 if SMOKE else 300
+#: Timing repeats per mode; the minimum is reported.
+REPEATS = 1 if SMOKE else 3
+
+VIEWS = {
+    "fkj": BaseRef("r").join(BaseRef("p")).project(["A", "B"]),
+    "wide": BaseRef("r").join(BaseRef("p")),
+}
+
+#: Work counters that must be charged identically by both modes: the
+#: elision touches only the apply-side counter arithmetic.
+PARITY_COUNTERS = (
+    "tuples_scanned",
+    "join_probes",
+    "truth_table_rows",
+    "delta_rows_evaluated",
+    "filter_tuples_checked",
+    "differential_updates",
+)
+
+
+def _seeded_database():
+    """p(B, C) with key (B); r(A, B) with foreign key r(B) → p(B)."""
+    rng = random.Random(26)
+    db = Database()
+    db.create_relation(
+        "p", ["B", "C"], [(b, rng.randint(0, 99)) for b in range(PARENTS)]
+    )
+    children = set()
+    while len(children) < SEED_CHILDREN:
+        children.add((rng.randint(0, 10_000), rng.randint(0, PARENTS - 1)))
+    db.create_relation("r", ["A", "B"], sorted(children))
+    db.declare_key("p", ["B"])
+    db.declare_foreign_key("r", ["B"], "p", ["B"])
+    return db
+
+
+def _churn(db, txns, seed):
+    """A seeded key/FK-legal stream: child churn, parent growth.
+
+    Child inserts reference live parents only; deletes target live
+    child rows; new parents arrive under fresh key values — so every
+    transaction commits and both ablation arms replay it identically.
+    """
+    rng = random.Random(seed)
+    live = set(db.relation("r").value_tuples())
+    parents = sorted(v[0] for v in db.relation("p").value_tuples())
+    next_parent = max(parents) + 1
+    for _ in range(txns):
+        with db.transact() as txn:
+            for _ in range(rng.randint(1, 5)):
+                roll = rng.random()
+                if roll < 0.08:
+                    txn.insert("p", (next_parent, rng.randint(0, 99)))
+                    parents.append(next_parent)
+                    next_parent += 1
+                elif live and roll < 0.40:
+                    row = rng.choice(sorted(live))
+                    txn.delete("r", row)
+                    live.discard(row)
+                else:
+                    row = (rng.randint(0, 10_000), rng.choice(parents))
+                    if row not in live:
+                        txn.insert("r", row)
+                        live.add(row)
+
+
+def _run_stream(use_counter_free):
+    """One full maintenance run; returns (seconds, counters, contents)."""
+    best = None
+    for _ in range(REPEATS):
+        db = _seeded_database()
+        maintainer = ViewMaintainer(db, use_counter_free=use_counter_free)
+        for name, expression in VIEWS.items():
+            maintainer.define_view(name, expression)
+        for name in VIEWS:
+            plan = maintainer.compiled_plan(name)
+            assert plan.counter_free is use_counter_free, name
+            assert plan.view_key is not None, name
+        assert maintainer.compiled_plan("fkj").reduction is not None
+        assert maintainer.compiled_plan("wide").reduction is None
+        recorder = CostRecorder()
+        start = time.perf_counter()
+        with recording(recorder):
+            _churn(db, TXNS, seed=13)
+        elapsed = time.perf_counter() - start
+        maintainer.verify_all()
+        contents = {
+            name: dict(maintainer.view(name).contents.counts())
+            for name in VIEWS
+        }
+        if best is None or elapsed < best[0]:
+            best = (elapsed, recorder.snapshot(), contents)
+    return best
+
+
+def _record(entry):
+    trajectory = []
+    if TRAJECTORY.exists():
+        trajectory = json.loads(TRAJECTORY.read_text())
+    trajectory.append(entry)
+    TRAJECTORY.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def test_e26_counter_free_ablation(report, benchmark):
+    free_s, free_counters, free_views = _run_stream(use_counter_free=True)
+    counted_s, counted_counters, counted_views = _run_stream(
+        use_counter_free=False
+    )
+
+    # Byte-for-byte agreement — and, the chase's whole point, every
+    # multiplicity the counted path maintains is exactly one.
+    assert free_views == counted_views
+    for contents in counted_views.values():
+        assert set(contents.values()) <= {1}
+    for name in PARITY_COUNTERS:
+        assert free_counters.get(name, 0) == counted_counters.get(
+            name, 0
+        ), name
+
+    overhead = (counted_s - free_s) / counted_s * 100 if counted_s else 0.0
+    rows = [
+        [
+            "counter-free",
+            f"{free_s * 1e3:.1f}",
+            free_counters.get("delta_rows_evaluated", 0),
+            free_counters.get("tuples_scanned", 0),
+            free_counters.get("join_probes", 0),
+        ],
+        [
+            "counted",
+            f"{counted_s * 1e3:.1f}",
+            counted_counters.get("delta_rows_evaluated", 0),
+            counted_counters.get("tuples_scanned", 0),
+            counted_counters.get("join_probes", 0),
+        ],
+    ]
+    report(
+        format_table(
+            ["mode", "stream ms", "delta rows", "tuples scanned", "probes"],
+            rows,
+            title=(
+                f"E26  counter-free ablation ({TXNS} txns, identical "
+                f"work, counter overhead {overhead:+.1f}%)"
+            ),
+        )
+    )
+
+    # The elision removes a small constant per emitted row; across the
+    # full stream the counter-free arm must not be measurably slower.
+    # (Strict speedup is noise-bound at this margin; the shape claim is
+    # "free or better", with 10% timing slack.)
+    if not SMOKE:
+        assert free_s <= counted_s * 1.10, (
+            f"counter-free {free_s:.4f}s slower than counted "
+            f"{counted_s:.4f}s beyond noise"
+        )
+
+    if RECORD:
+        _record(
+            {
+                "experiment": "E26",
+                "date": date.today().isoformat(),
+                "smoke": SMOKE,
+                "txns": TXNS,
+                "counter_free_ms": round(free_s * 1e3, 2),
+                "counted_ms": round(counted_s * 1e3, 2),
+                "overhead_pct": round(overhead, 2),
+                "view_rows": {
+                    name: len(contents)
+                    for name, contents in free_views.items()
+                },
+            }
+        )

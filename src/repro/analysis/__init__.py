@@ -15,6 +15,9 @@ Entry points
 * :class:`AnalysisReport` — deterministic text/JSON rendering.
 * :class:`Finding` / :class:`Severity` — the typed result vocabulary
   (closed code set; see :mod:`repro.analysis.findings`).
+* :mod:`repro.analysis.dependencies` — chase-based inference over
+  declared keys: :func:`derive_view_key`, :func:`fk_reduction`, and
+  the row-determination helpers base-free hosts use.
 """
 
 from repro.analysis.analyzer import (
@@ -23,10 +26,25 @@ from repro.analysis.analyzer import (
     analyze_maintainer,
     cross_view_findings,
 )
+from repro.analysis.dependencies import (
+    Dependency,
+    FkReduction,
+    KeyLookup,
+    ViewKey,
+    close,
+    dependencies_for,
+    derive_view_key,
+    determined_row,
+    fk_reduction,
+    key_determines_row,
+    shared_equality_atoms,
+)
 from repro.analysis.findings import (
     CODE_SEVERITIES,
+    F_COUNTER_FREE,
     F_DEAD_DISJUNCT,
     F_DEAD_TRUTH_ROWS,
+    F_DUPLICATE_SENSITIVE,
     F_DUPLICATE_VIEW,
     F_LOOSE_BOUND,
     F_REDUNDANT_ATOM,
@@ -36,6 +54,7 @@ from repro.analysis.findings import (
     F_UNBOUND_OLD_OPERAND,
     F_UNSATISFIABLE_CONDITION,
     F_UNSUPPORTED_AGGREGATE,
+    F_VIEW_KEY,
     Finding,
     Severity,
 )
@@ -47,8 +66,11 @@ from repro.analysis.routing import (
 __all__ = [
     "AnalysisReport",
     "CODE_SEVERITIES",
+    "Dependency",
+    "F_COUNTER_FREE",
     "F_DEAD_DISJUNCT",
     "F_DEAD_TRUTH_ROWS",
+    "F_DUPLICATE_SENSITIVE",
     "F_DUPLICATE_VIEW",
     "F_LOOSE_BOUND",
     "F_REDUNDANT_ATOM",
@@ -58,11 +80,21 @@ __all__ = [
     "F_UNBOUND_OLD_OPERAND",
     "F_UNSATISFIABLE_CONDITION",
     "F_UNSUPPORTED_AGGREGATE",
+    "F_VIEW_KEY",
     "Finding",
+    "FkReduction",
+    "KeyLookup",
     "Severity",
+    "ViewKey",
     "analyze_definition",
     "analyze_maintainer",
+    "close",
     "cross_view_findings",
+    "dependencies_for",
+    "derive_view_key",
+    "determined_row",
+    "fk_reduction",
     "is_shard_irrelevant",
+    "key_determines_row",
     "shard_effective_condition",
 ]

@@ -38,6 +38,13 @@ registration time* instead of against tuples at update time:
     registration order, so the arithmetic is meaningless in every
     database state.  MIN/MAX over labels stays legal (ordered by code,
     documented); COUNT reads no attribute at all.
+(i) **Key/FD reasoning** (INFO / WARN) — the chase over declared keys
+    (:mod:`repro.analysis.dependencies`) derives view keys
+    (``F_VIEW_KEY`` with the FD proof chain), proves multiplicity ≤ 1
+    so codegen can pin the Section 5.2 counters (``F_COUNTER_FREE``),
+    and warns when a self-maintainable view reads a keyless base
+    relation whose shipped deltas rely on upstream validation
+    (``F_DUPLICATE_SENSITIVE``).
 
 All checks are *decision procedures*, not heuristics: each finding is
 a theorem about the definition, which is why the report is
@@ -51,9 +58,12 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.algebra.conditions import Atom, Conjunction, Var
 from repro.algebra.domains import FiniteDomain, IntegerDomain
+from repro.analysis.dependencies import KeyLookup, derive_view_key
 from repro.analysis.findings import (
+    F_COUNTER_FREE,
     F_DEAD_DISJUNCT,
     F_DEAD_TRUTH_ROWS,
+    F_DUPLICATE_SENSITIVE,
     F_DUPLICATE_VIEW,
     F_LOOSE_BOUND,
     F_REDUNDANT_ATOM,
@@ -63,6 +73,7 @@ from repro.analysis.findings import (
     F_UNBOUND_OLD_OPERAND,
     F_UNSATISFIABLE_CONDITION,
     F_UNSUPPORTED_AGGREGATE,
+    F_VIEW_KEY,
     Finding,
     Severity,
 )
@@ -94,13 +105,20 @@ def analyze_definition(
     definition: "ViewDefinition",
     constraints: "ConstraintCatalog | None" = None,
     plan: "CompiledViewPlan | None" = None,
+    keys: "KeyLookup | None" = None,
+    view_operands: Iterable[str] = (),
 ) -> tuple[Finding, ...]:
     """All single-view findings for one definition, report-ordered.
 
     ``constraints`` enables the static-irrelevance check (d);
-    ``plan`` enables the compiled-plan lint (f).  Without them the
-    condition checks (a)–(c) still run — this is the subset strict
-    registration needs, since only (a) produces ERROR findings.
+    ``plan`` enables the compiled-plan lint (f); ``keys`` enables the
+    chase-based check (i) and the ``fk_join`` self-maintainability
+    class.  ``view_operands`` names operands that are themselves
+    registered views — they carry bag semantics, for which the
+    multiplicity-≤-1 conclusions of check (i) do not hold (taken from
+    ``plan`` when one is given).  Without them the condition checks
+    (a)–(c) still run — this is the subset strict registration needs,
+    since only (a) produces ERROR findings.
 
     When the condition is unsatisfiable the single ERROR finding is
     returned alone: every other check would fire vacuously (an
@@ -195,14 +213,18 @@ def analyze_definition(
                     )
                 )
 
-    # (f) compiled-plan lint.
+    # (f) compiled-plan lint.  The lint speaks the plan's *execution*
+    # normal form: an FK-reduced plan builds planners over the reduced
+    # single-occurrence form, and positions refer to it.
     if plan is not None:
-        findings.extend(_plan_lint_findings(name, nf, plan))
+        findings.extend(
+            _plan_lint_findings(name, plan.execution_normal_form, plan)
+        )
 
     # (g) self-maintainability classification.
     from repro.scheduler.selfmaint import classify_self_maintainability
 
-    verdict = classify_self_maintainability(definition, constraints)
+    verdict = classify_self_maintainability(definition, constraints, keys)
     if verdict.self_maintainable:
         findings.append(
             Finding(
@@ -213,6 +235,63 @@ def analyze_definition(
                 "can host this view without base-relation copies",
             )
         )
+
+    # (i) key/FD reasoning: derived view keys, counter-freeness, and
+    # duplicate sensitivity of base-free hosting.  View operands are
+    # bags — a keyless upstream view can hold the same row twice — so
+    # the multiplicity-≤-1 conclusions are suppressed over them, the
+    # same gate the compiled plan applies.
+    if keys is not None:
+        bag_operands = (
+            frozenset(plan.view_operands)
+            if plan is not None
+            else frozenset(view_operands)
+        ) & set(nf.relation_names)
+        if definition.aggregate is None and not bag_operands:
+            view_key = derive_view_key(nf, keys)
+            if view_key is not None:
+                proof = "; ".join(view_key.proof) or "projection covers the product"
+                findings.append(
+                    Finding(
+                        F_VIEW_KEY,
+                        name,
+                        view_key.describe(),
+                        f"the chase derives view key {view_key.describe()}: "
+                        "no two materialized rows can agree on it "
+                        f"[{proof}]",
+                    )
+                )
+                findings.append(
+                    Finding(
+                        F_COUNTER_FREE,
+                        name,
+                        view_key.describe(),
+                        "the view key's closure covers the whole flattened "
+                        "product, so every view row has multiplicity 1 and "
+                        "the apply kernels pin the Section 5.2 counters "
+                        "(counter-free maintenance)",
+                    )
+                )
+        if verdict.self_maintainable:
+            keyless = [
+                relation
+                for relation in sorted(set(nf.relation_names))
+                if relation not in bag_operands and not keys.keys_of(relation)
+            ]
+            if keyless:
+                listed = ", ".join(keyless)
+                findings.append(
+                    Finding(
+                        F_DUPLICATE_SENSITIVE,
+                        name,
+                        listed,
+                        "self-maintainable view reads keyless relation(s) "
+                        f"[{listed}]: a base-free host cannot re-validate "
+                        "duplicate inserts or absent deletes locally and "
+                        "must trust upstream (leader-side) enforcement — "
+                        "declare keys to unlock local occupancy tracking",
+                    )
+                )
 
     unique = tuple(dict.fromkeys(findings))
     return tuple(sorted(unique, key=Finding.sort_key))
@@ -591,6 +670,7 @@ def analyze_maintainer(maintainer: "ViewMaintainer") -> AnalysisReport:
                 view.definition,
                 constraints=maintainer.database.constraints,
                 plan=plan,
+                keys=maintainer.database.keys,
             )
         )
         normal_forms[name] = view.definition.normal_form

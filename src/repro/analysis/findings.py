@@ -80,6 +80,19 @@ F_SELF_MAINTAINABLE = "self_maintainable_view"
 #: attribute whose domain is a label space — the encoded codes carry no
 #: arithmetic meaning, so the view would be nonsense in every state.
 F_UNSUPPORTED_AGGREGATE = "unsupported_aggregate"
+#: Check (i): the chase over declared keys derived a *view key* — a
+#: minimal set of output columns on which no two materialized rows can
+#: agree; the finding carries the FD proof chain.
+F_VIEW_KEY = "view_key"
+#: Check (i): when the view key's closure covers the whole flattened
+#: product, every view row provably has multiplicity ≤ 1, so codegen
+#: pins the §5.2 counters to one (counter-free apply kernels).
+F_COUNTER_FREE = "counter_free"
+#: Check (i): the view is self-maintainable and would be hosted
+#: base-free, but some base relation it reads declares no key — shipped
+#: deltas of keyless relations rely on upstream validation for
+#: duplicate inserts and absent deletes.
+F_DUPLICATE_SENSITIVE = "duplicate_sensitive"
 
 #: Every valid code, mapped to its fixed severity.  Adding a code here
 #: is an API change; the vocabulary is otherwise closed.
@@ -95,6 +108,9 @@ CODE_SEVERITIES: Mapping[str, Severity] = {
     F_DEAD_TRUTH_ROWS: Severity.INFO,
     F_SELF_MAINTAINABLE: Severity.INFO,
     F_UNSUPPORTED_AGGREGATE: Severity.ERROR,
+    F_VIEW_KEY: Severity.INFO,
+    F_COUNTER_FREE: Severity.INFO,
+    F_DUPLICATE_SENSITIVE: Severity.WARN,
 }
 
 

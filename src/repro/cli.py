@@ -48,7 +48,10 @@ Invocations::
         failing episode's seed and a minimized event trace, and exits 1.
         --base-free-followers adds replicas that shed their base
         copies (self-maintainable views only); --sharded --base-free
-        runs every non-home shard base-free (docs/scheduler.md).
+        runs every non-home shard base-free (docs/scheduler.md);
+        adding --keyed declares a key on the partitioned relation and
+        drives it with unrestricted inserts and deletes, exercising
+        key-occupancy presence tracking (docs/cluster.md).
     python -m repro.cli monitor [--seed N] [--commits N]
                                 [--json PATH] [--html PATH]
         Drive a seeded synthetic workload under staleness SLAs and
@@ -84,10 +87,13 @@ Shell commands::
     show <name>                 -- relation or view contents
     stats <view>                -- maintenance counters, backlog depth,
                                    and the self-maintainability verdict
-    explain <view> changing <rel>[, <rel>]*
+    explain <view> [changing <rel>[, <rel>]*]
                                 -- the compiled maintenance plan: the
                                    invariant/variant screening split,
-                                   join order, and index bindings
+                                   join order, index bindings, and the
+                                   chase proofs (derived view keys, FK
+                                   reductions); the bare form assumes
+                                   every referenced relation changed
     explain <view> source       -- the generated kernel source the
                                    plan executes (docs/codegen.md)
     recommend indexes <view>    -- indexes the planner would probe
@@ -98,6 +104,21 @@ Shell commands::
                                    existing rows must satisfy it and
                                    commits enforce it from then on
     drop constraint <rel>       -- remove a relation's constraint
+    declare key <rel> (<attr>, ...)
+                                -- declare a candidate key; existing
+                                   rows must be collision-free and
+                                   commits enforce it from then on;
+                                   the chase turns it into plan-level
+                                   proofs (docs/analysis.md)
+    drop key <rel> [(<attr>, ...)]
+    declare fk <rel> (<attr>, ...) references <rel> (<attr>, ...)
+                                -- declare a foreign key onto a
+                                   declared key of the referenced
+                                   relation
+    drop fk <rel> references <rel>
+    keys                        -- list declared keys and foreign keys
+    constraints                 -- list declared constraints, keys and
+                                   foreign keys
     analyze                     -- run the static analyzer over every
                                    registered view (docs/analysis.md)
     tables / views              -- list catalog entries
@@ -237,15 +258,24 @@ class Shell:
             match = re.match(
                 r"explain\s+(\w+)\s+changing\s+(.*)$", line, re.IGNORECASE
             )
+            if match:
+                relations = [
+                    r.strip() for r in match.group(2).split(",") if r.strip()
+                ]
+                return self.maintainer.explain(match.group(1), relations)
+            match = re.match(r"explain\s+(\w+)\s*$", line, re.IGNORECASE)
             if not match:
                 raise ShellError(
-                    "usage: explain <view> changing <rel>[, <rel>]* "
+                    "usage: explain <view> [changing <rel>[, <rel>]*] "
                     "| explain <view> source"
                 )
-            relations = [
-                r.strip() for r in match.group(2).split(",") if r.strip()
-            ]
-            return self.maintainer.explain(match.group(1), relations)
+            # The bare form: the full plan as if every referenced base
+            # relation changed — including the chase proofs (derived
+            # view keys, FK reductions) the plan embeds.
+            name = match.group(1)
+            view = self.maintainer.view(name)
+            relations = sorted(set(view.definition.normal_form.relation_names))
+            return self.maintainer.explain(name, relations)
         if lowered.startswith("drop view "):
             name = line.split(None, 2)[2].strip()
             self.maintainer.drop_view(name)
@@ -263,6 +293,62 @@ class Shell:
             if self.database.drop_constraint(match.group(1)):
                 return f"dropped constraint on {match.group(1)}"
             return f"no constraint on {match.group(1)}"
+        match = re.match(
+            r"declare\s+key\s+(\w+)\s*\(([^)]*)\)\s*$", line, re.IGNORECASE
+        )
+        if match:
+            attrs = [a.strip() for a in match.group(2).split(",") if a.strip()]
+            if not attrs:
+                raise ShellError("a key needs at least one attribute")
+            key = self.database.declare_key(match.group(1), attrs)
+            return f"declared key ({', '.join(key)}) on {match.group(1)}"
+        match = re.match(
+            r"drop\s+key\s+(\w+)\s*(?:\(([^)]*)\))?\s*$", line, re.IGNORECASE
+        )
+        if match:
+            attrs = [
+                a.strip()
+                for a in (match.group(2) or "").split(",")
+                if a.strip()
+            ]
+            if self.database.drop_key(match.group(1), attrs or None):
+                return f"dropped key on {match.group(1)}"
+            return f"no such key on {match.group(1)}"
+        match = re.match(
+            r"declare\s+fk\s+(\w+)\s*\(([^)]*)\)\s+references\s+"
+            r"(\w+)\s*\(([^)]*)\)\s*$",
+            line,
+            re.IGNORECASE,
+        )
+        if match:
+            attrs = [a.strip() for a in match.group(2).split(",") if a.strip()]
+            ref_attrs = [
+                a.strip() for a in match.group(4).split(",") if a.strip()
+            ]
+            if not attrs or not ref_attrs:
+                raise ShellError(
+                    "a foreign key needs attributes on both sides"
+                )
+            fk = self.database.declare_foreign_key(
+                match.group(1), attrs, match.group(3), ref_attrs
+            )
+            return f"declared foreign key {fk.describe()}"
+        match = re.match(
+            r"drop\s+fk\s+(\w+)\s+references\s+(\w+)\s*$", line, re.IGNORECASE
+        )
+        if match:
+            if self.database.drop_foreign_key(match.group(1), match.group(2)):
+                return (
+                    f"dropped foreign key(s) from {match.group(1)} "
+                    f"to {match.group(2)}"
+                )
+            return (
+                f"no foreign key from {match.group(1)} to {match.group(2)}"
+            )
+        if lowered == "keys":
+            return self._list_keys() or "(no keys)"
+        if lowered == "constraints":
+            return self._list_constraints()
         if lowered == "analyze":
             return self.maintainer.analyze().format()
         raise ShellError(f"cannot parse: {line!r} (try 'help')")
@@ -324,6 +410,28 @@ class Shell:
         if name in self.maintainer.view_names():
             return self.maintainer.view(name).contents.pretty()
         return self.database.relation(name).pretty()
+
+    def _list_keys(self) -> str:
+        lines = [
+            f"key ({', '.join(key)}) on {name}"
+            for name, declared in self.database.keys.items()
+            for key in declared
+        ]
+        lines.extend(
+            f"foreign key {fk.describe()}"
+            for fk in self.database.keys.foreign_key_items()
+        )
+        return "\n".join(lines)
+
+    def _list_constraints(self) -> str:
+        lines = [
+            f"constrain {name} where {condition}"
+            for name, condition in self.database.constraints.items()
+        ]
+        keys = self._list_keys()
+        if keys:
+            lines.extend(keys.splitlines())
+        return "\n".join(lines) or "(no constraints)"
 
 
 _AGG_COLUMN = re.compile(
@@ -800,6 +908,7 @@ def run_simulate_cluster(
     partitions: bool = True,
     routed: bool = True,
     base_free: bool = False,
+    keyed: bool = False,
     emit=print,
 ) -> int:
     """The ``simulate --sharded`` verb; returns the process exit code.
@@ -807,7 +916,10 @@ def run_simulate_cluster(
     Runs the sharded-cluster harness of docs/cluster.md: seeded client
     transactions against an in-process cluster over lossy simulated
     links, with shard crashes and coordinator-side partitions, checked
-    at quiescence against a single-node full recompute.
+    at quiescence against a single-node full recompute.  ``keyed``
+    declares a key on the partitioned relation, which with
+    ``base_free`` lifts the home-range workload restriction: key
+    occupancy lets base-free owners reproduce presence semantics.
     """
     from repro.cluster.sim import ClusterSimConfig, run_cluster_simulation
 
@@ -820,6 +932,7 @@ def run_simulate_cluster(
         partitions=partitions,
         routed=routed,
         base_free=base_free,
+        keyed=keyed,
     )
     report = run_cluster_simulation(config)
     emit(report.format())
@@ -1094,6 +1207,14 @@ def main(argv: list[str] | None = None) -> int:
             "copies and maintain views from shipped deltas alone"
         ),
     )
+    simulate_parser.add_argument(
+        "--keyed", action="store_true",
+        help=(
+            "with --sharded: declare a key on the partitioned relation; "
+            "with --base-free this lifts the home-range workload "
+            "restriction via key-occupancy tracking"
+        ),
+    )
     monitor_parser = commands.add_parser(
         "monitor",
         help="render a staleness report over a seeded synthetic workload",
@@ -1147,6 +1268,7 @@ def main(argv: list[str] | None = None) -> int:
                 partitions=not options.no_partitions,
                 routed=not options.broadcast,
                 base_free=options.base_free,
+                keyed=options.keyed,
             )
         if options.command == "simulate":
             return run_simulate(

@@ -51,6 +51,7 @@ from repro.cluster.links import DirectLink, SimShardLink
 from repro.cluster.routing import RoutingTable, build_routing_table
 from repro.cluster.shard import ShardNode
 from repro.cluster.topology import HOME_SHARD, ClusterTopology
+from repro.engine.keys import ForeignKey
 from repro.errors import ClusterError, UnknownRelationError
 from repro.instrumentation import CostRecorder, charge, recording
 from repro.server import protocol
@@ -609,6 +610,8 @@ def build_cluster(
     link_factory: Callable[[ShardNode, int], Link] | None = None,
     changefeed_history: int = 256,
     base_free_shards: Sequence[int] = (),
+    keys: Mapping[str, Sequence[Sequence[str]]] | None = None,
+    foreign_keys: Sequence[ForeignKey] = (),
 ) -> ClusterCoordinator:
     """Stand up a full cluster: shards, links, coordinator.
 
@@ -628,7 +631,20 @@ def build_cluster(
     crash rebuilds preserve the flag.  Delete-existence validation
     weakens to the remaining full hosts — keep at least the owning
     shard of every partitioned range full unless the workload's
-    deletes are validated upstream.
+    deletes are validated upstream, or declare keys that restore
+    presence tracking (below).
+
+    ``keys`` maps relation names to their declared candidate keys and
+    ``foreign_keys`` lists :class:`~repro.engine.keys.ForeignKey`
+    declarations; every shard declares them on its local database
+    before registering views, so compiled plans prove the same chase
+    facts cluster-wide.  A key on a *partitioned* relation must
+    contain the partition attribute — rows agreeing on the key would
+    otherwise route to different shards and shard-local enforcement
+    could miss a cluster-wide collision.  On base-free shards a
+    partition-aligned, row-determining key unlocks key-occupancy
+    presence tracking (see :class:`ShardNode`), lifting the exact-ops
+    workload restriction for that relation.
     """
     frozen_tables = {name: tuple(attrs) for name, attrs in tables.items()}
     frozen_rows = {
@@ -638,6 +654,23 @@ def build_cluster(
         name: Condition.coerce(cond) for name, cond in constraints.items()
     }
     view_list = [(name, expression) for name, expression in views]
+    frozen_keys = {
+        name: tuple(tuple(key) for key in declared)
+        for name, declared in (keys or {}).items()
+    }
+    for name, declared in sorted(frozen_keys.items()):
+        spec = topology.spec(name)
+        if spec is None:
+            continue
+        for key in declared:
+            if spec.key not in key:
+                raise ClusterError(
+                    f"key ({', '.join(key)}) on partitioned relation "
+                    f"{name!r} omits the partition attribute "
+                    f"{spec.key!r}: shard-local enforcement cannot see "
+                    f"a collision between rows routed to different shards"
+                )
+    fk_list = tuple(foreign_keys)
 
     base_free = frozenset(base_free_shards)
 
@@ -650,6 +683,8 @@ def build_cluster(
             coerced,
             view_list,
             base_free=shard_id in base_free,
+            keys=frozen_keys,
+            foreign_keys=fk_list,
         )
 
     links: list[Link] = []

@@ -39,15 +39,30 @@ Base-free hosting
 With ``base_free=True`` the node keeps schemas and declared constraints
 but sheds its base-relation rows right after registration: every hosted
 view must be **self-maintainable** (:mod:`repro.scheduler.selfmaint`),
-and commits are applied by *raw-netting* the sub-transaction's op
-batches into per-relation deltas fed straight to the maintainer — for
-any valid transaction, pairwise insert/delete netting equals the commit
+and commits are applied by *netting* the sub-transaction's op batches
+into per-relation deltas fed straight to the maintainer — for any
+valid transaction, pairwise insert/delete netting equals the commit
 pipeline's net effect, so view contents and acks stay byte-identical to
-a full shard's.  What a base-free node cannot do is check delete
-existence (it has no rows to check against); prepare still validates
-structure, domains and constraints on raw inserts, and existence stays
-with the shards holding full copies — the coordinator aborts on any
-nack, so one full replica in the prepare quorum preserves exactness.
+a full shard's.  What a base-free node cannot do by itself is check
+presence (it has no rows to check against): a duplicate insert or a
+delete of an absent row — silent no-ops on a full shard — would leak
+into its netted deltas, so without further premises the workload must
+avoid them, and existence stays with the shards holding full copies.
+
+Declared keys close that trust boundary.  When a partitioned relation
+declares a key that (a) contains the partition attribute, so routing
+sends every row with a given key value to this shard, and (b)
+*determines the row* under the relation's declared constraint
+(:func:`repro.analysis.dependencies.key_determines_row`), the node
+keeps a **key-occupancy set** — just the key columns — instead of the
+full rows it sheds.  Occupancy answers the only question presence
+semantics needs: whether the row a key value pins
+(:func:`~repro.analysis.dependencies.determined_row`) is currently
+stored.  Netting then reproduces the commit pipeline's silent no-ops
+exactly (duplicate inserts and absent deletes drop out), and prepare
+rejects key collisions before voting, so such relations accept fully
+unrestricted insert/delete workloads while staying byte-identical to a
+full shard.
 """
 
 from __future__ import annotations
@@ -58,11 +73,13 @@ from repro.algebra.conditions import Condition
 from repro.algebra.expressions import Expression
 from repro.algebra.relation import Delta, Relation
 from repro.algebra.tuples import coerce_row
+from repro.analysis.dependencies import determined_row, key_determines_row
 from repro.cluster.topology import ClusterTopology
 from repro.core.maintainer import ViewMaintainer
 from repro.core.views import MaterializedView
 from repro.engine.constraints import find_violations
 from repro.engine.database import Database
+from repro.engine.keys import ForeignKey
 from repro.engine.persistence import delta_to_document
 from repro.errors import ClusterError, ReproError, UnknownViewError
 from repro.instrumentation import charge
@@ -71,6 +88,9 @@ __all__ = ["ShardNode"]
 
 #: ``{"relation": [[value, ...], ...]}`` — raw (decoded) op batches.
 OpBatches = Mapping[str, Sequence[Sequence[Any]]]
+
+#: An encoded row (or key-column slice of one), as stored in relations.
+ValueTuple = tuple[int, ...]
 
 
 class ShardNode:
@@ -85,6 +105,8 @@ class ShardNode:
         constraints: Mapping[str, Condition],
         views: Sequence[tuple[str, Expression]],
         base_free: bool = False,
+        keys: Mapping[str, Sequence[Sequence[str]]] | None = None,
+        foreign_keys: Sequence[ForeignKey] = (),
     ) -> None:
         self.shard_id = shard_id
         self.topology = topology
@@ -120,6 +142,23 @@ class ShardNode:
             window = spec.range_condition(shard_id)
             if not window.is_true():
                 self.database.declare_constraint(name, window)
+        # Keys and foreign keys are declared before the maintainer is
+        # built so the compiled plans' chase proofs (view keys, FK
+        # reductions) see the same premises a single-node stack would.
+        for name in sorted(keys or {}):
+            for key in (keys or {})[name]:
+                self.database.declare_key(name, list(key))
+        for fk in foreign_keys:
+            self.database.declare_foreign_key(
+                fk.relation, fk.attributes, fk.ref_relation, fk.ref_attributes
+            )
+        #: Base-free key-occupancy: relation → set of key tuples
+        #: currently stored, for partitioned relations whose declared
+        #: key contains the partition attribute and determines the row
+        #: under the declared constraint.  Empty on full shards.
+        self._occupancy: dict[str, set[ValueTuple]] = {}
+        self._occupancy_keys: dict[str, tuple[str, ...]] = {}
+        self._occupancy_positions: dict[str, tuple[int, ...]] = {}
         self.maintainer = ViewMaintainer(self.database)
         self._captured: list[tuple[str, dict[str, Any]]] = []
         self._applied_counts: dict[str, dict[str, int]] = {}
@@ -200,10 +239,19 @@ class ShardNode:
         be present, and a same-transaction delete of an absent row does
         not cancel the insert), and netting never adds inserted rows.
 
+        Declared keys and foreign keys are checked here too, on the
+        probe's netted post-state: 2PC's contract is that a unanimous
+        prepare guarantees the later commit cannot fail, and key checks
+        now run inside the commit pipeline, so prepare must anticipate
+        them exactly.
+
         A base-free node holds no rows, so its probe skips the
         delete-existence check (deletes are validated structurally
-        only); existence stays with the full replicas in the quorum.
+        only); existence stays with the full replicas in the quorum,
+        except for key-occupancy relations, whose presence and key
+        collisions are checked against the occupancy set.
         """
+        net: dict[str, Delta] = {}
         probe = self.database.begin()
         try:
             if self.base_free:
@@ -216,6 +264,8 @@ class ShardNode:
                     probe.delete_many(name, (tuple(row) for row in batch))
             for name, batch in sorted(inserts.items()):
                 probe.insert_many(name, (tuple(row) for row in batch))
+            if not self.base_free:
+                net = probe.net_deltas()
         except ReproError as exc:
             return str(exc)
         finally:
@@ -235,6 +285,16 @@ class ShardNode:
                     f"shard {self.shard_id} constraint {condition} on "
                     f"{name!r} rejects: {preview}"
                 )
+        if not self.base_free:
+            violation = self.database.net_effect_violation(net)
+            if violation is not None:
+                return f"shard {self.shard_id} rejects: {violation}"
+        for name in sorted(self._occupancy):
+            _, _, violation = self._occupancy_net(
+                name, inserts.get(name, ()), deletes.get(name, ())
+            )
+            if violation is not None:
+                return f"shard {self.shard_id} rejects: {violation}"
         return None
 
     def _on_commit(self, message: Mapping[str, Any]) -> list[dict[str, Any]]:
@@ -258,6 +318,16 @@ class ShardNode:
         self._applied_counts = {}
         if self.base_free:
             deltas = self._raw_netted_deltas(message)
+            for name in self._occupancy:
+                delta = deltas.get(name)
+                if delta is None:
+                    continue
+                positions = self._occupancy_positions[name]
+                occupied = self._occupancy[name]
+                for values in delta.deleted:
+                    occupied.discard(tuple(values[i] for i in positions))
+                for values in delta.inserted:
+                    occupied.add(tuple(values[i] for i in positions))
             if deltas:
                 self.maintainer.apply_deltas(txn_id, deltas)
             self._capture_relation_deltas(txn_id, deltas)
@@ -295,6 +365,11 @@ class ShardNode:
         whose condition contradicts this shard's ownership window
         classifies ``constraint_empty_join`` and is hosted as provably
         empty.
+
+        Before clearing, partitioned relations with a row-determining
+        declared key seed their key-occupancy set from the bootstrap
+        rows: the key columns survive the shed and stand in for the
+        full rows in all future presence checks.
         """
         offenders = [
             name
@@ -310,6 +385,27 @@ class ShardNode:
                 f"base-free shard {self.shard_id} cannot host "
                 f"non-self-maintainable view(s) {offenders}: {reasons}"
             )
+        for name, spec in sorted(self.topology.partitions.items()):
+            relation = self.database.relation(name)
+            constraint = self.database.constraints.get(name)
+            if constraint is None:
+                continue
+            for key in self.database.keys.keys_of(name):
+                if spec.key not in key:
+                    # Routing is by the partition attribute; a key that
+                    # omits it cannot be enforced shard-locally.
+                    continue
+                if not key_determines_row(relation.schema, key, constraint):
+                    continue
+                positions = tuple(relation.schema.index(a) for a in key)
+                self._occupancy_keys[name] = key
+                self._occupancy_positions[name] = positions
+                self._occupancy[name] = {
+                    tuple(values[i] for i in positions)
+                    for values in relation.value_tuples()
+                }
+                charge("base_free_keys_tracked", len(self._occupancy[name]))
+                break
         dropped = 0
         for name in sorted(self.database.relation_names()):
             dropped += self.database.relation(name).clear()
@@ -324,12 +420,29 @@ class ShardNode:
         one insert of the same tuple (or one stored copy — which the
         pipeline also nets to a count move), and what remains is the
         ``(i_r, d_r)`` pair a full shard's commit would produce.
+
+        Key-occupancy relations instead net through
+        :meth:`_occupancy_net`, which consults the occupancy set to
+        reproduce the pipeline's presence semantics (duplicate inserts
+        and absent deletes are silent no-ops), so their workloads need
+        not be restricted to exact operations.
         """
         inserts = message.get("inserts") or {}
         deletes = message.get("deletes") or {}
         deltas: dict[str, Delta] = {}
         for name in sorted(set(inserts) | set(deletes)):
             schema = self.database.relation(name).schema
+            if name in self._occupancy:
+                pend_ins, pend_del, _ = self._occupancy_net(
+                    name, inserts.get(name, ()), deletes.get(name, ())
+                )
+                if pend_ins or pend_del:
+                    deltas[name] = Delta.from_counts(
+                        schema,
+                        {values: 1 for values in pend_ins},
+                        {values: 1 for values in pend_del},
+                    )
+                continue
             net: dict[tuple, int] = {}
             for row in deletes.get(name, ()):
                 values = coerce_row(schema, tuple(row))
@@ -342,6 +455,86 @@ class ShardNode:
             if inserted or deleted:
                 deltas[name] = Delta.from_counts(schema, inserted, deleted)
         return deltas
+
+    def _occupancy_net(
+        self,
+        name: str,
+        insert_rows: Sequence[Sequence[Any]],
+        delete_rows: Sequence[Sequence[Any]],
+    ) -> tuple[set[ValueTuple], set[ValueTuple], str | None]:
+        """Presence-aware netting against the key-occupancy set.
+
+        Replays the commit pipeline's semantics — deletes first, then
+        inserts, as :meth:`_apply_commit` would feed a transaction —
+        with ``determined_row`` standing in for the shed stored rows:
+        a delete only takes effect when the occupancy set holds its key
+        *and* the determined row matches (otherwise the row is absent
+        and the delete is a silent no-op); an insert of the row a key
+        value already pins is a silent no-op; an insert whose key is
+        held by a *different* surviving row is a key collision.
+
+        Returns ``(inserted, deleted, violation)`` where the first two
+        are the netted row sets and ``violation`` is an error string
+        when the batch would break the declared key — prepare nacks on
+        it, so commits never see one.
+        """
+        schema = self.database.relation(name).schema
+        key = self._occupancy_keys[name]
+        positions = self._occupancy_positions[name]
+        constraint = self.database.constraints.get(name)
+        occupied = self._occupancy[name]
+        removed: set[ValueTuple] = set()
+        pend_ins: set[ValueTuple] = set()
+        pend_del: set[ValueTuple] = set()
+        for row in delete_rows:
+            values = coerce_row(schema, tuple(row))
+            key_values = tuple(values[i] for i in positions)
+            if key_values not in occupied or key_values in removed:
+                continue
+            stored = determined_row(schema, key, key_values, constraint)
+            if stored == values:
+                pend_del.add(values)
+                removed.add(key_values)
+        for row in insert_rows:
+            values = coerce_row(schema, tuple(row))
+            key_values = tuple(values[i] for i in positions)
+            if values in pend_del:
+                # Reinsert of a row deleted earlier in this batch:
+                # cancels to a net no-op, restoring occupancy.
+                pend_del.discard(values)
+                removed.discard(key_values)
+                continue
+            stored = None
+            if key_values in occupied and key_values not in removed:
+                stored = determined_row(schema, key, key_values, constraint)
+            if stored == values or values in pend_ins:
+                continue
+            pend_ins.add(values)
+        # Validate the post-state: occupancy keys are pairwise distinct
+        # by invariant, so a collision must involve a netted insert —
+        # against a surviving stored row, or against another insert.
+        # A single pass over the *final* pending sets also covers
+        # delete/insert/reinsert interleavings where a cancellation
+        # restores a stored row after a colliding insert was netted.
+        inserted_keys: dict[ValueTuple, ValueTuple] = {}
+        for values in sorted(pend_ins):
+            key_values = tuple(values[i] for i in positions)
+            collides_with = inserted_keys.get(key_values)
+            if collides_with is None and (
+                key_values in occupied and key_values not in removed
+            ):
+                collides_with = determined_row(
+                    schema, key, key_values, constraint
+                )
+            if collides_with is not None:
+                return (
+                    pend_ins,
+                    pend_del,
+                    f"the key ({', '.join(key)}) on {name!r}: "
+                    f"{values!r}/{collides_with!r}",
+                )
+            inserted_keys[key_values] = values
+        return pend_ins, pend_del, None
 
     def _capture_view_delta(self, view: MaterializedView, delta: Delta) -> None:
         self._captured.append((view.definition.name, delta_to_document(delta)))

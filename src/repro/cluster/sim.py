@@ -89,6 +89,7 @@ class ClusterSimConfig:
         "partitions",
         "routed",
         "base_free",
+        "keyed",
         "drop_rate",
         "duplicate_rate",
         "reorder_rate",
@@ -105,6 +106,7 @@ class ClusterSimConfig:
         partitions: bool = True,
         routed: bool = True,
         base_free: bool = False,
+        keyed: bool = False,
         drop_rate: float = 0.05,
         duplicate_rate: float = 0.05,
         reorder_rate: float = 0.2,
@@ -119,12 +121,20 @@ class ClusterSimConfig:
         self.routed = routed
         #: Every non-home shard hosts base-free (no base-relation
         #: copies).  Implies the self-maintainable view subset (``v_rt``
-        #: is dropped) and a workload whose partitioned-relation ops
-        #: stay in the home shard's range — a base-free owner cannot
-        #: existence-check a delete *or* detect a set-semantics
-        #: duplicate insert, so only rows a full replica validates may
-        #: be touched (the documented trust boundary).
+        #: is dropped) and — without ``keyed`` — a workload whose
+        #: partitioned-relation ops stay in the home shard's range: a
+        #: base-free owner cannot existence-check a delete *or* detect
+        #: a set-semantics duplicate insert, so only rows a full
+        #: replica validates may be touched (the documented trust
+        #: boundary).
         self.base_free = base_free
+        #: Declare a key on the partitioned relation (plus the
+        #: row-determining constraint backing it).  Base-free owners
+        #: then track key occupancy, so the partitioned workload is
+        #: generated *unrestricted* again — duplicate inserts and
+        #: absent deletes included — and the oracle must still match
+        #: byte for byte.
+        self.keyed = keyed
         self.drop_rate = drop_rate
         self.duplicate_rate = duplicate_rate
         self.reorder_rate = reorder_rate
@@ -133,11 +143,13 @@ class ClusterSimConfig:
 
 def cluster_workload(
     shards: int,
+    keyed: bool = False,
 ) -> tuple[
     ClusterTopology,
     dict[str, list[str]],
     dict[str, list[tuple[int, int]]],
     dict[str, str],
+    dict[str, list[tuple[str, ...]]],
     list[tuple[str, Expression]],
 ]:
     """The fixed episode schema: one partitioned and two replicated
@@ -152,6 +164,13 @@ def cluster_workload(
     group rows are shard-local and the bag-union merge is exact — the
     sharded oracle then pins aggregate state and its changefeed mirror
     to the single-node ground truth.
+
+    With ``keyed`` the partitioned relation declares its partition
+    attribute as a key and the constraint ``B = A + 1``, which
+    *determines the row from the key* — exactly the premises a
+    base-free owner needs to track key occupancy, so the schedule
+    generator may hit it with unrestricted inserts and deletes.  The
+    bootstrap rows change to satisfy the constraint.
     """
     boundaries = even_boundaries(shards, 0, VALUE_RANGE - 1)
     low_cut = boundaries[0] if boundaries else VALUE_RANGE // 2
@@ -163,6 +182,11 @@ def cluster_workload(
         "t": [(e, (e * 3) % VALUE_RANGE) for e in range(VALUE_RANGE)],
     }
     constraints = {"s": "C >= 0"}
+    keys: dict[str, list[tuple[str, ...]]] = {}
+    if keyed:
+        rows["r"] = [(a, a + 1) for a in range(VALUE_RANGE)]
+        constraints["r"] = "B = A + 1"
+        keys["r"] = [("A",)]
     views: list[tuple[str, Expression]] = [
         ("v_low", BaseRef("r").select(f"A <= {low_cut}")),
         (
@@ -179,7 +203,7 @@ def cluster_workload(
             ),
         ),
     ]
-    return topology, tables, rows, constraints, views
+    return topology, tables, rows, constraints, keys, views
 
 
 def generate_cluster_schedule(
@@ -207,13 +231,21 @@ def generate_cluster_schedule(
                 ]
                 if relation == "s" and rng.random() < 0.08:
                     row[0] = -1  # violates the declared constraint
+                if config.keyed and relation == "r" and rng.random() >= 0.08:
+                    # Keep most keyed-relation rows on the declared
+                    # row-determining constraint B = A + 1; the rest
+                    # stay random, exercising constraint rejection
+                    # (inserts) and absent-row no-op deletes.
+                    row[1] = row[0] + 1
                 target = deletes if rng.random() < 0.4 else inserts
-                if config.base_free and relation == "r":
+                if config.base_free and relation == "r" and not config.keyed:
                     # Base-free owners cannot existence-check: a delete
                     # of an absent row and an insert of a present one
                     # (a set-semantics no-op their raw netting would
                     # count) both need a full replica to validate, so
                     # partitioned ops stay on the full home shard.
+                    # Declared keys (``keyed``) lift the restriction:
+                    # key occupancy restores presence semantics.
                     row[0] = rng.randrange(home_max + 1)
                 target.setdefault(relation, []).append(row)
             schedule.append(
@@ -278,8 +310,9 @@ class _ClusterEpisode:
             self.tables,
             self.rows,
             self.constraints,
+            self.keys,
             self.views,
-        ) = cluster_workload(config.shards)
+        ) = cluster_workload(config.shards, keyed=config.keyed)
         self.base_free_shards: tuple[int, ...] = ()
         if config.base_free:
             # Only self-maintainable views can be hosted base-free:
@@ -316,6 +349,7 @@ class _ClusterEpisode:
             routed=config.routed,
             base_free_shards=self.base_free_shards,
             link_factory=link_factory,
+            keys=self.keys,
         )
         self.links: list[SimShardLink] = [
             link
@@ -417,6 +451,9 @@ class _ClusterEpisode:
             database.declare_constraint(
                 name, Condition.coerce(self.constraints[name])
             )
+        for name in sorted(self.keys):
+            for key in self.keys[name]:
+                database.declare_key(name, list(key))
         maintainer = ViewMaintainer(database)
         for name, expression in self.views:
             maintainer.define_view(name, expression)
@@ -598,7 +635,7 @@ class ClusterSimReport:
             f"episodes={len(self.episodes)} events={config.events} "
             f"shards={config.shards} crashes={config.crashes} "
             f"partitions={config.partitions} routed={config.routed} "
-            f"base_free={config.base_free}"
+            f"base_free={config.base_free} keyed={config.keyed}"
         ]
         for key in sorted(self.stats):
             lines.append(f"  {key}: {self.stats[key]}")

@@ -66,7 +66,8 @@ ValueTuple = tuple[int, ...]
 #: can never be served to a newer runtime (and so toggling
 #: ``use_codegen`` evicts, rather than reuses, cached plans).
 #: v2: aggregate fold kernels (group-apply + unrolled renderers).
-CODEGEN_VERSION = 2
+#: v3: counter-free apply kernels (derived view keys pin counters to 1).
+CODEGEN_VERSION = 3
 
 #: Views with more occurrences than this fall back to the interpreter
 #: wholesale (the unrolled trie would be enormous and cold).
@@ -506,7 +507,11 @@ def codegen_rows(
     return rows
 
 
-def generate_shape_source(planner: "RowPlanner", rows: Sequence[Rows]) -> str:
+def generate_shape_source(
+    planner: "RowPlanner",
+    rows: Sequence[Rows],
+    counter_free: bool = False,
+) -> str:
     """Emit the row kernel + apply kernel for one truth-table shape.
 
     The row kernel unrolls the planner's prefix-sharing trie: one named
@@ -519,6 +524,15 @@ def generate_shape_source(planner: "RowPlanner", rows: Sequence[Rows]) -> str:
     materialized.  The apply kernel folds each completed row through
     the final DNF re-check, the projection and the Section 5.2 counter
     accumulators.
+
+    With ``counter_free`` (sound only when a derived view key proves
+    every view row has multiplicity ≤ 1 — see
+    :func:`repro.analysis.dependencies.derive_view_key`) the apply
+    kernel pins each accumulator entry to one instead of summing
+    multiplicities: the counts carry no information, so the
+    ``get``-then-add round trip per emitted row is dropped.  The final
+    :func:`~repro.core.counting.net_counts` pass still runs — one
+    transaction may legitimately delete a view row and re-insert it.
     """
     nf = planner.normal_form
     steps = planner.steps
@@ -533,8 +547,13 @@ def generate_shape_source(planner: "RowPlanner", rows: Sequence[Rows]) -> str:
         "# order (delta-first): "
         + " -> ".join(names[step.position] for step in steps)
     )
+    if counter_free:
+        out.emit(
+            "# counter-free: a derived view key proves multiplicity <= 1;"
+        )
+        out.emit("# the apply kernel pins every counter to one")
 
-    _emit_apply_kernel(out, planner)
+    _emit_apply_kernel(out, planner, counter_free)
     out.emit()
     out.emit("def row_kernel(operands, probe_for):")
     out.indent += 1
@@ -602,7 +621,9 @@ def _render_sig(chain, steps, names) -> str:
     return " * ".join(parts)
 
 
-def _emit_apply_kernel(out: _Emitter, planner: "RowPlanner") -> None:
+def _emit_apply_kernel(
+    out: _Emitter, planner: "RowPlanner", counter_free: bool = False
+) -> None:
     final_schema = planner.final_schema
     positions = planner.projection_positions
     key = "(" + ", ".join(f"v[{p}]" for p in positions) + ("," if len(positions) == 1 else "") + ")"
@@ -621,11 +642,17 @@ def _emit_apply_kernel(out: _Emitter, planner: "RowPlanner") -> None:
     out.emit(f"k = {key}")
     out.emit("if t is T_I:")
     out.indent += 1
-    out.emit("ins[k] = ins.get(k, 0) + c")
+    if counter_free:
+        out.emit("ins[k] = 1")
+    else:
+        out.emit("ins[k] = ins.get(k, 0) + c")
     out.indent -= 1
     out.emit("elif t is T_D:")
     out.indent += 1
-    out.emit("dele[k] = dele.get(k, 0) + c")
+    if counter_free:
+        out.emit("dele[k] = 1")
+    else:
+        out.emit("dele[k] = dele.get(k, 0) + c")
     out.indent -= 2
     out.indent -= 1
 
@@ -1040,7 +1067,7 @@ class ShapeKernels:
 
 
 def compile_shape_kernels(
-    planner: "RowPlanner", view_name: str
+    planner: "RowPlanner", view_name: str, counter_free: bool = False
 ) -> ShapeKernels | None:
     """Generate + compile one shape's kernels; None triggers fallback."""
     nf = planner.normal_form
@@ -1049,7 +1076,7 @@ def compile_shape_kernels(
     rows = codegen_rows(len(nf.occurrences), planner.changed)
     if len(rows) > MAX_CODEGEN_ROWS:
         return None
-    source = generate_shape_source(planner, rows)
+    source = generate_shape_source(planner, rows, counter_free)
     shape_tag = "".join(str(p) for p in planner.changed)
     kernel = compile_kernel(
         source, "row_kernel", f"<codegen:{view_name}:shape{shape_tag}>"

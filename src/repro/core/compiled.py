@@ -33,6 +33,12 @@ from repro.algebra.expressions import NormalForm
 from repro.algebra.relation import Delta, Relation
 from repro.algebra.tags import Tag
 from repro.algebra.schema import RelationSchema
+from repro.analysis.dependencies import (
+    FkReduction,
+    ViewKey,
+    derive_view_key,
+    fk_reduction,
+)
 from repro.core.codegen import (
     AggregateKernel,
     CODEGEN_VERSION,
@@ -97,6 +103,12 @@ class CompiledViewPlan:
         generated source (:mod:`repro.core.codegen`) at registration
         time and executes those; without it, the per-tuple interpreter
         runs — the ablation oracle the kernels are verified against.
+    use_counter_free:
+        Allow the generated apply kernels to pin the Section 5.2
+        multiplicity counters to one when the chase over declared keys
+        proves every view row has multiplicity ≤ 1 (E26's ablation
+        switch; the fact itself is re-proved at compile time from the
+        database's key catalog, and key DDL invalidates the plan).
     codegen_stats:
         Optional maintainer-owned :class:`~repro.core.codegen.CodegenStats`
         sink; cumulative codegen counters survive plan eviction there.
@@ -109,6 +121,7 @@ class CompiledViewPlan:
         "share_subexpressions",
         "use_indexes",
         "use_codegen",
+        "use_counter_free",
         "_database",
         "_view_operands",
         "_schemas",
@@ -121,6 +134,9 @@ class CompiledViewPlan:
         "_shape_kernels",
         "_aggregate_source",
         "_aggregate_kernel",
+        "_reduction",
+        "_view_key",
+        "_exec_normal_form",
     )
 
     def __init__(
@@ -132,6 +148,7 @@ class CompiledViewPlan:
         share_subexpressions: bool = True,
         use_indexes: bool = True,
         use_codegen: bool = True,
+        use_counter_free: bool = True,
         codegen_stats: CodegenStats | None = None,
     ) -> None:
         self.definition = definition
@@ -147,9 +164,28 @@ class CompiledViewPlan:
         self.share_subexpressions = share_subexpressions
         self.use_indexes = use_indexes
         self.use_codegen = use_codegen
+        self.use_counter_free = use_counter_free
         self._codegen_stats = codegen_stats
         self._database = database
         self._view_operands = frozenset(view_operands)
+        # Chase-derived facts (keys DDL invalidates the plan, so they
+        # are re-proved on every compile, like static irrelevance).
+        # Both are gated on set-semantics operands: view operands are
+        # bags, for which the multiplicity-≤-1 argument fails.
+        self._reduction: FkReduction | None = None
+        self._view_key: ViewKey | None = None
+        if definition.aggregate is None and not self._view_operands:
+            self._reduction = fk_reduction(self.normal_form, database.keys)
+            self._view_key = derive_view_key(self.normal_form, database.keys)
+        #: The normal form execution actually runs: the FK-reduced
+        #: single-occurrence form when the chase proved one, the
+        #: definition's own otherwise.  Planners, kernels, operand
+        #: construction and index bindings all speak this form.
+        self._exec_normal_form: NormalForm = (
+            self._reduction.normal_form
+            if self._reduction is not None
+            else self.normal_form
+        )
         self._schemas: dict[str, RelationSchema] = {}
         # Compile the Section 4 screens eagerly — one per participating
         # relation; this is the Definition 4.2 invariant split plus its
@@ -254,6 +290,21 @@ class CompiledViewPlan:
             stats.static_dropped = stats.checked
             charge("static_tuples_dropped", stats.checked)
             return Delta(delta.schema), stats
+        if (
+            self._reduction is not None
+            and relation_name in self._reduction.probe_relations
+        ):
+            # The FK reduction proved probe-side updates can never
+            # change the view (legal states keep the foreign key
+            # satisfied, and the probe contributes only its referenced
+            # key attributes, which the referencing side already
+            # carries).  Dropped wholesale, like static irrelevance.
+            stats = FilterStats()
+            stats.checked = len(delta.inserted) + len(delta.deleted)
+            stats.irrelevant = stats.checked
+            stats.static_dropped = stats.checked
+            charge("fk_probe_tuples_dropped", stats.checked)
+            return Delta(delta.schema), stats
         if self.use_codegen:
             return self._screen_batch(relation_name, screen, delta)
         return screen.screen_delta(delta)
@@ -298,6 +349,41 @@ class CompiledViewPlan:
         """Relations proven statically irrelevant under their constraints."""
         return self._static_irrelevant
 
+    @property
+    def view_operands(self) -> frozenset[str]:
+        """Operand names that are themselves registered views (bags)."""
+        return self._view_operands
+
+    @property
+    def execution_normal_form(self) -> NormalForm:
+        """The normal form maintenance actually executes.
+
+        The FK-reduced single-occurrence form when the chase over
+        declared keys proved the probe lookups away; otherwise the
+        definition's own normal form.
+        """
+        return self._exec_normal_form
+
+    @property
+    def reduction(self) -> FkReduction | None:
+        """The chase's FK-join reduction, when one was proved."""
+        return self._reduction
+
+    @property
+    def view_key(self) -> ViewKey | None:
+        """The chase's derived view key, when one was proved."""
+        return self._view_key
+
+    @property
+    def counter_free(self) -> bool:
+        """Whether apply kernels pin the Section 5.2 counters to one.
+
+        True only when the switch is on *and* the chase proved a view
+        key (so every view row has multiplicity ≤ 1).  The interpreter
+        path always keeps full counters — it is the parity oracle.
+        """
+        return self.use_counter_free and self._view_key is not None
+
     def screens(self) -> Mapping[str, RelevanceFilter]:
         """The compiled per-relation relevance filters (read-only)."""
         return dict(self._screens)
@@ -311,7 +397,7 @@ class CompiledViewPlan:
         planner = self._planners.get(key)
         if planner is None:
             planner = RowPlanner(
-                self.normal_form,
+                self._exec_normal_form,
                 key,
                 share_subexpressions=self.share_subexpressions,
             )
@@ -324,9 +410,9 @@ class CompiledViewPlan:
         deltas: Mapping[str, Delta],
     ) -> Delta:
         """The net view change for one transaction, via cached planners."""
-        changed = changed_positions_for(self.normal_form, deltas)
+        changed = changed_positions_for(self._exec_normal_form, deltas)
         if not changed:
-            return Delta(self.normal_form.output_schema())
+            return Delta(self._exec_normal_form.output_schema())
         planner = self.planner_for(changed)
         if self.use_codegen:
             kernels = self._shape_kernels_for(changed, planner)
@@ -413,7 +499,9 @@ class CompiledViewPlan:
         key = tuple(sorted(set(changed)))
         if key in self._shape_kernels:
             return self._shape_kernels[key]
-        kernels = compile_shape_kernels(planner, self.definition.name)
+        kernels = compile_shape_kernels(
+            planner, self.definition.name, counter_free=self.counter_free
+        )
         if kernels is not None:
             charge("codegen_plans_compiled")
             if self._codegen_stats is not None:
@@ -437,7 +525,7 @@ class CompiledViewPlan:
         """
         charge("differential_updates")
         operands = build_operands(
-            self.normal_form, post_instances, deltas, changed
+            self._exec_normal_form, post_instances, deltas, changed
         )
         hook = self.index_probe_for(deltas)
         steps = planner.steps
@@ -493,7 +581,7 @@ class CompiledViewPlan:
         key = (position, link_attrs)
         if key in self._index_bindings:
             return self._index_bindings[key]
-        occurrence = self.normal_form.occurrences[position]
+        occurrence = self._exec_normal_form.occurrences[position]
         if occurrence.name in self._view_operands:
             binding: "HashIndex | None" = None
         else:
@@ -524,7 +612,7 @@ class CompiledViewPlan:
             index = self._bind_index(position, link_attrs)
             if index is None:
                 return None
-            occurrence = self.normal_form.occurrences[position]
+            occurrence = self._exec_normal_form.occurrences[position]
             delta = deltas.get(occurrence.name)
             inserted = delta.inserted if delta is not None else {}
 
@@ -567,6 +655,13 @@ class CompiledViewPlan:
             f"# generated kernels for view {name!r} "
             f"(codegen v{CODEGEN_VERSION})\n"
         ]
+        if self._reduction is not None:
+            parts.append(
+                f"# fk reduction: shapes cover the reduced normal form "
+                f"over {self._reduction.delta_relation!r} alone; deltas on "
+                f"{', '.join(self._reduction.probe_relations)} are screened "
+                "out wholesale\n"
+            )
         for relation_name in sorted(self._screens):
             cached = self._screen_kernels.get(relation_name)
             if cached is not None:
@@ -582,7 +677,7 @@ class CompiledViewPlan:
                     ),
                 )
             )
-        width = len(self.normal_form.occurrences)
+        width = len(self._exec_normal_form.occurrences)
         if width > MAX_CODEGEN_OPERANDS:
             parts.append(
                 f"# {width} operands exceed the codegen limit "
@@ -602,7 +697,13 @@ class CompiledViewPlan:
                     "exceed the codegen limit; interpreter fallback\n"
                 )
                 continue
-            parts.append(generate_shape_source(self.planner_for(shape), rows))
+            parts.append(
+                generate_shape_source(
+                    self.planner_for(shape),
+                    rows,
+                    counter_free=self.counter_free,
+                )
+            )
         parts.extend(self._aggregate_source_parts())
         return "\n".join(parts)
 
@@ -627,24 +728,64 @@ class CompiledViewPlan:
         and the hash index each OLD probe binds.  This is what the CLI's
         ``explain`` verb prints.
         """
-        nf = self.normal_form
+        nf = self._exec_normal_form
         changed_set = set(changed_relations)
+        probe_relations: frozenset[str] = (
+            frozenset(self._reduction.probe_relations)
+            if self._reduction is not None
+            else frozenset()
+        )
         positions = [
             i for i, occ in enumerate(nf.occurrences) if occ.name in changed_set
         ]
         name = self.definition.name
         if not positions:
+            if changed_set & probe_relations:
+                assert self._reduction is not None
+                return (
+                    f"view {name!r}: {sorted(changed_set & probe_relations)} "
+                    "are FK-reduction probe operands; their deltas are "
+                    "proven irrelevant and dropped wholesale "
+                    f"({self._reduction.describe()})"
+                )
             return (
                 f"view {name!r}: none of {sorted(changed_set)} participate; "
                 "no maintenance needed"
             )
         lines = [f"compiled plan for view {name!r}"]
+        if self._reduction is not None:
+            lines.append(
+                "fk reduction (chase over declared keys): "
+                + self._reduction.describe()
+            )
+            for step in self._reduction.proof:
+                lines.append(f"  {step}")
+        if self._view_key is not None:
+            lines.append(
+                "derived view key (chase over declared keys): "
+                + self._view_key.describe()
+            )
+            for step in self._view_key.proof:
+                lines.append(f"  {step}")
+            mode = (
+                "counter-free apply kernels"
+                if self.counter_free
+                else "full Section 5.2 counters (counter-free disabled)"
+            )
+            lines.append(f"  multiplicity ≤ 1 proven; {mode}")
         lines.append("relevance screens (Definition 4.2 split, compiled once):")
         for relation_name in sorted(changed_set & self._screens.keys()):
             if relation_name in self._static_irrelevant:
                 lines.append(
                     f"  {relation_name}: statically irrelevant under its "
                     "declared constraint; deltas dropped without per-tuple "
+                    "screening"
+                )
+                continue
+            if relation_name in probe_relations:
+                lines.append(
+                    f"  {relation_name}: FK-reduction probe operand; deltas "
+                    "proven irrelevant and dropped without per-tuple "
                     "screening"
                 )
                 continue
@@ -688,7 +829,7 @@ class CompiledViewPlan:
 
     def __repr__(self) -> str:
         shapes = len(self._planners)
-        possible = count_delta_rows(len(self.normal_form.occurrences)) + 1
+        possible = count_delta_rows(len(self._exec_normal_form.occurrences)) + 1
         return (
             f"<CompiledViewPlan {self.definition.name!r} "
             f"{len(self._screens)} screens, {shapes}/{possible} planner shapes, "

@@ -123,6 +123,14 @@ class ViewMaintainer:
         kernels are verified against).  Flipping the switch changes the
         expected plan fingerprint, so cached plans compiled under the
         other mode are evicted, never executed.
+    use_counter_free:
+        Let compiled plans pin the Section 5.2 multiplicity counters to
+        one when the chase over declared keys proves every view row has
+        multiplicity ≤ 1 (default on; E26's ablation switch — off keeps
+        full counter arithmetic even when the proof succeeds).  The
+        fact is re-proved per plan compile and key DDL invalidates
+        plans, so the switch never changes results, only the kernels'
+        arithmetic.
     strict:
         Default for :meth:`define_view`'s ``strict`` parameter: run the
         static analyzer (:mod:`repro.analysis`) on every new definition
@@ -141,6 +149,7 @@ class ViewMaintainer:
         use_indexes: bool = True,
         use_plan_cache: bool = True,
         use_codegen: bool = True,
+        use_counter_free: bool = True,
         strict: bool = False,
         auto_verify: bool = False,
     ) -> None:
@@ -150,6 +159,7 @@ class ViewMaintainer:
         self.use_indexes = use_indexes
         self.use_plan_cache = use_plan_cache
         self.use_codegen = use_codegen
+        self.use_counter_free = use_counter_free
         self.strict = strict
         self.auto_verify = auto_verify
         #: Cumulative codegen counters; owned here (not by plans) so
@@ -210,7 +220,10 @@ class ViewMaintainer:
             from repro.errors import StrictAnalysisError
 
             findings = analyze_definition(
-                definition, constraints=self.database.constraints
+                definition,
+                constraints=self.database.constraints,
+                keys=self.database.keys,
+                view_operands=referenced & self._views.keys(),
             )
             errors = tuple(
                 f for f in findings if f.severity is Severity.ERROR
@@ -369,6 +382,7 @@ class ViewMaintainer:
             share_subexpressions=self.share_subexpressions,
             use_indexes=self.use_indexes,
             use_codegen=self.use_codegen,
+            use_counter_free=self.use_counter_free,
             codegen_stats=self._codegen_stats,
         )
 
@@ -557,7 +571,7 @@ class ViewMaintainer:
         """
         self._require_view(name)
         plan = self._plan_for(name)
-        normal_form = plan.normal_form
+        normal_form = plan.execution_normal_form
         recommendations: set[tuple[str, tuple[str, ...]]] = set()
         for changed in range(len(normal_form.occurrences)):
             planner = plan.planner_for([changed])
@@ -690,12 +704,14 @@ class ViewMaintainer:
     def self_maintainability(self, name: str) -> "SelfMaintainability":
         """Classify one registered view (see
         :func:`repro.scheduler.selfmaint.classify_self_maintainability`);
-        the proof uses the database's declared constraints."""
+        the proof uses the database's declared constraints and keys."""
         self._require_view(name)
         from repro.scheduler.selfmaint import classify_self_maintainability
 
         return classify_self_maintainability(
-            self._views[name].definition, self.database.constraints
+            self._views[name].definition,
+            self.database.constraints,
+            self.database.keys,
         )
 
     def is_self_maintainable(self, name: str) -> bool:

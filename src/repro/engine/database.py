@@ -30,11 +30,20 @@ from repro.engine.constraints import (
     validate_constraint_condition,
 )
 from repro.engine.indexes import IndexManager
+from repro.engine.keys import (
+    ForeignKey,
+    KeyCatalog,
+    find_dangling_references,
+    find_key_collisions,
+    post_state_rows,
+    validate_key_attributes,
+)
 from repro.engine.log import UpdateLog
 from repro.engine.transactions import Transaction
 from repro.errors import (
     ConstraintError,
     ConstraintViolationError,
+    KeyViolationError,
     SchemaError,
     UnknownRelationError,
 )
@@ -43,7 +52,9 @@ CommitHook = Callable[[int, Mapping[str, Delta]], None]
 
 #: A schema/DDL observer: ``hook(event, relation_name)`` where event is
 #: one of ``"create_relation"``, ``"drop_relation"``, ``"create_index"``,
-#: ``"drop_index"``, ``"declare_constraint"``, ``"drop_constraint"``.
+#: ``"drop_index"``, ``"declare_constraint"``, ``"drop_constraint"``,
+#: ``"declare_key"``, ``"drop_key"``, ``"declare_foreign_key"``,
+#: ``"drop_foreign_key"``.
 DdlHook = Callable[[str, str], None]
 
 
@@ -57,6 +68,7 @@ class Database:
         self.indexes = IndexManager()
         self.indexes.on_change = self._notify_ddl
         self.constraints = ConstraintCatalog(notify=self._notify_ddl)
+        self.keys = KeyCatalog(notify=self._notify_ddl)
         self._commit_hooks: list[CommitHook] = []
         self._ddl_hooks: list[DdlHook] = []
 
@@ -100,6 +112,7 @@ class Database:
         # The constraint dies with its relation; drop_relation's own DDL
         # event already reaches every dependent, so no second event.
         self.constraints.discard(name)
+        self.keys.discard(name)
         self._notify_ddl("drop_relation", name)
 
     def relation(self, name: str) -> Relation:
@@ -173,6 +186,101 @@ class Database:
         """
         self.relation(relation_name)  # unknown names fail loudly
         return self.constraints.drop(relation_name)
+
+    def declare_key(
+        self, relation_name: str, attributes: Sequence[str]
+    ) -> tuple[str, ...]:
+        """Declare ``attributes`` as a candidate key of ``relation_name``.
+
+        Existing rows are validated immediately — no two stored rows may
+        agree on the key — and from here on the commit pipeline rejects
+        transactions whose net effect would create such a pair
+        (:class:`~repro.errors.KeyViolationError`).  Declaring fires a
+        ``declare_key`` DDL event, invalidating cached plans whose
+        dependency proofs the new premise could strengthen.
+        """
+        relation = self.relation(relation_name)
+        key = validate_key_attributes(relation_name, attributes, relation.schema)
+        collisions = find_key_collisions(
+            relation.schema, key, relation.value_tuples()
+        )
+        if collisions:
+            preview = ", ".join(f"{a!r}/{b!r}" for a, b in collisions[:3])
+            if len(collisions) > 3:
+                preview += ", …"
+            raise ConstraintError(
+                f"cannot declare key ({', '.join(key)}) on {relation_name!r}: "
+                f"existing rows collide on it: {preview}"
+            )
+        self.keys.declare_key(relation_name, key)
+        return key
+
+    def drop_key(
+        self, relation_name: str, attributes: Sequence[str] | None = None
+    ) -> bool:
+        """Drop a declared key (or all of a relation's); True when one
+        existed.  Fires a ``drop_key`` DDL event: plans embedding the
+        key's dependency proofs must recompile without them.
+        """
+        self.relation(relation_name)  # unknown names fail loudly
+        return self.keys.drop_key(relation_name, attributes)
+
+    def declare_foreign_key(
+        self,
+        relation_name: str,
+        attributes: Sequence[str],
+        ref_relation: str,
+        ref_attributes: Sequence[str],
+    ) -> ForeignKey:
+        """Declare that ``relation_name``'s ``attributes`` reference the
+        declared key ``ref_attributes`` of ``ref_relation``.
+
+        The referenced attribute list must already be a declared key of
+        the referenced relation (referential integrity to a non-key is
+        not a functional dependency, so the chase could not use it).
+        Existing rows are validated immediately; from here on the commit
+        pipeline rejects transactions whose net effect leaves a
+        referencing row without its referenced partner.
+        """
+        relation = self.relation(relation_name)
+        ref = self.relation(ref_relation)
+        key = validate_key_attributes(relation_name, attributes, relation.schema)
+        ref_key = validate_key_attributes(ref_relation, ref_attributes, ref.schema)
+        if len(key) != len(ref_key):
+            raise ConstraintError(
+                f"foreign key on {relation_name!r} lists {len(key)} "
+                f"attributes but references {len(ref_key)}"
+            )
+        if ref_key not in self.keys.keys_of(ref_relation):
+            raise ConstraintError(
+                f"foreign key on {relation_name!r} references "
+                f"({', '.join(ref_key)}) which is not a declared key of "
+                f"{ref_relation!r} — declare the key first"
+            )
+        foreign_key = ForeignKey(relation_name, key, ref_relation, ref_key)
+        dangling = find_dangling_references(
+            foreign_key,
+            relation.schema,
+            relation.value_tuples(),
+            ref.schema,
+            ref.value_tuples(),
+        )
+        if dangling:
+            preview = ", ".join(map(str, dangling[:3]))
+            if len(dangling) > 3:
+                preview += ", …"
+            raise ConstraintError(
+                f"cannot declare foreign key {foreign_key.describe()}: "
+                f"existing rows dangle: {preview}"
+            )
+        self.keys.declare_foreign_key(foreign_key)
+        return foreign_key
+
+    def drop_foreign_key(self, relation_name: str, ref_relation: str) -> bool:
+        """Drop the foreign keys from ``relation_name`` to
+        ``ref_relation``; True when one existed."""
+        self.relation(relation_name)  # unknown names fail loudly
+        return self.keys.drop_foreign_key(relation_name, ref_relation)
 
     # ------------------------------------------------------------------
     # Transactions
@@ -297,24 +405,108 @@ class Database:
         Called by :meth:`Transaction.commit` before the transaction
         leaves the active state, so a violation aborts cleanly with no
         state changed.  Deletions cannot violate a tuple-wise
-        invariant, so only the inserted side is checked.
+        invariant, so only the inserted side is checked.  Declared keys
+        and foreign keys are checked here too — on the transaction's
+        *net effect* against the post-state — so a violation of any
+        declared invariant aborts before the commit mutates anything.
         """
-        if not len(self.constraints):
-            return
-        for name, delta in deltas.items():
-            condition = self.constraints.get(name)
-            if condition is None or not delta.inserted:
-                continue
-            schema = self._relations[name].schema
-            violations = find_violations(name, condition, schema, delta.inserted)
-            if violations:
-                preview = ", ".join(map(str, violations[:3]))
-                if len(violations) > 3:
-                    preview += ", …"
-                raise ConstraintViolationError(
-                    f"transaction {txn.txn_id} violates the constraint "
-                    f"{condition} on {name!r}: {preview}"
+        if len(self.constraints):
+            for name, delta in deltas.items():
+                condition = self.constraints.get(name)
+                if condition is None or not delta.inserted:
+                    continue
+                schema = self._relations[name].schema
+                violations = find_violations(
+                    name, condition, schema, delta.inserted
                 )
+                if violations:
+                    preview = ", ".join(map(str, violations[:3]))
+                    if len(violations) > 3:
+                        preview += ", …"
+                    raise ConstraintViolationError(
+                        f"transaction {txn.txn_id} violates the constraint "
+                        f"{condition} on {name!r}: {preview}"
+                    )
+        violation = self.net_effect_violation(deltas)
+        if violation is not None:
+            raise KeyViolationError(
+                f"transaction {txn.txn_id} violates {violation}"
+            )
+
+    def _post_state(self, name: str, deltas: Mapping[str, Delta]):
+        relation = self._relations[name]
+        return post_state_rows(
+            relation.value_tuples(), deltas.get(name)
+        )
+
+    def net_effect_violation(
+        self, deltas: Mapping[str, Delta]
+    ) -> str | None:
+        """Describe the first declared key / foreign key a net effect breaks.
+
+        Returns ``None`` when the post-state satisfies every declared
+        key and foreign key.  This is the commit pipeline's enforcement
+        check exposed without a transaction: 2PC prepare runs it over a
+        staged sub-transaction's netted deltas so that a unanimously
+        prepared commit can never fail its key checks afterwards.
+
+        Key collisions: deletes cannot create one, so only relations
+        receiving inserts are checked — but against their full
+        *post-state*, since a new row may collide with a surviving
+        stored row.  Foreign keys ``r → p`` can break through inserts
+        into ``r`` or deletes from ``p``; both sides are evaluated
+        against their post-states, so a transaction may move a
+        referenced row and its referencing rows together.
+        """
+        if not len(self.keys):
+            return None
+        for name in sorted(deltas):
+            delta = deltas[name]
+            if not delta.inserted:
+                continue
+            for key in self.keys.keys_of(name):
+                schema = self._relations[name].schema
+                collisions = find_key_collisions(
+                    schema, key, self._post_state(name, deltas)
+                )
+                if collisions:
+                    preview = ", ".join(
+                        f"{a!r}/{b!r}" for a, b in collisions[:3]
+                    )
+                    if len(collisions) > 3:
+                        preview += ", …"
+                    return (
+                        f"the key ({', '.join(key)}) on {name!r}: {preview}"
+                    )
+        touched = set(deltas)
+        checked: set[ForeignKey] = set()
+        for name in sorted(touched):
+            candidates = self.keys.foreign_keys_of(name) + self.keys.referencing(
+                name
+            )
+            for fk in candidates:
+                if fk in checked:
+                    continue
+                checked.add(fk)
+                src_delta = deltas.get(fk.relation)
+                dst_delta = deltas.get(fk.ref_relation)
+                src_grew = src_delta is not None and bool(src_delta.inserted)
+                dst_shrank = dst_delta is not None and bool(dst_delta.deleted)
+                if not (src_grew or dst_shrank):
+                    continue
+                dangling = find_dangling_references(
+                    fk,
+                    self._relations[fk.relation].schema,
+                    self._post_state(fk.relation, deltas),
+                    self._relations[fk.ref_relation].schema,
+                    self._post_state(fk.ref_relation, deltas),
+                )
+                if dangling:
+                    preview = ", ".join(map(str, dangling[:3]))
+                    if len(dangling) > 3:
+                        preview += ", …"
+                    return f"the foreign key {fk.describe()}: {preview}"
+        return None
 
     def _apply_commit(self, txn: Transaction, deltas: Mapping[str, Delta]) -> None:
         """Apply a transaction's net effect (called by Transaction.commit)."""

@@ -77,6 +77,17 @@ class ConstraintViolationError(TransactionError):
     """
 
 
+class KeyViolationError(TransactionError):
+    """A transaction's net effect would violate a declared key or
+    foreign key.
+
+    Either two post-state rows would agree on a declared candidate key,
+    or a referencing row would be left without a referenced-key partner.
+    Enforcement happens before the commit mutates any state, so the
+    transaction's effects are discarded in full.
+    """
+
+
 class UnknownViewError(ReproError):
     """A maintenance request referenced a view that was never registered."""
 

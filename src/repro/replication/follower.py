@@ -32,6 +32,18 @@ plan's single-occurrence delta row never reads an OLD operand — only
 the memory for the base copies is gone.  Constraint enforcement is
 necessarily the leader's job in this mode: a base-free host has no
 state to validate deltas against.
+
+Declared keys widen what a base-free follower may host.  Declaring the
+leader's keys and foreign keys on the follower
+(:meth:`Follower.declare_key` / :meth:`Follower.declare_foreign_key`,
+before the views) feeds the chase the premises for the ``fk_join``
+self-maintainability class: a join view whose probe relations are
+reached through declared foreign keys onto their declared keys
+compiles to an FK-reduced plan that executes over the delta relation
+alone, so it — inserts *and* deletes, which the shipped records carry
+as leader-validated net effects — maintains exactly like a
+single-relation view, with probe-relation deltas proven irrelevant and
+dropped wholesale.
 """
 
 from __future__ import annotations
@@ -116,6 +128,32 @@ class Follower:
     def view(self, name: str) -> MaterializedView:
         """One of the follower's materialized views."""
         return self.maintainer.view(name)
+
+    def declare_key(self, relation_name: str, attributes) -> tuple[str, ...]:
+        """Declare a candidate key on the follower's replica.
+
+        Mirror the leader's declarations *before* defining views: the
+        chase premises unlock the ``fk_join`` self-maintainability
+        class, letting a base-free follower host FK-joins (see the
+        module docstring).  The follower never enforces keys itself —
+        shipped records are leader-validated — so declarations here
+        are purely analysis premises.
+        """
+        return self.database.declare_key(relation_name, attributes)
+
+    def declare_foreign_key(
+        self,
+        relation_name: str,
+        attributes,
+        ref_relation: str,
+        ref_attributes,
+    ):
+        """Declare a foreign key on the follower's replica (see
+        :meth:`declare_key`; the referenced key must be declared
+        first)."""
+        return self.database.declare_foreign_key(
+            relation_name, attributes, ref_relation, ref_attributes
+        )
 
     def refresh(self, name: str) -> bool:
         """Apply a deferred follower view's composed backlog."""

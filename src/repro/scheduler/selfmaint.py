@@ -41,6 +41,16 @@ whose premises the engine can actually discharge:
   maintenance is trivially base-free.  Per-shard key-range constraints
   make this case real in the cluster: a shard whose ownership range
   contradicts a view's condition hosts that view as provably empty.
+* ``fk_join`` (``p ≥ 2``) — every probe operand is reached through a
+  declared foreign key into a declared candidate key and contributes
+  nothing beyond the referenced key attributes
+  (:func:`repro.analysis.dependencies.fk_reduction`).  The compiled
+  plan then executes the *reduced* single-occurrence normal form over
+  the referencing relation alone — the probe lookup is erased by
+  substituting referencing attributes for referenced key attributes —
+  so, like ``single_relation``, no maintenance step ever materializes
+  an OLD operand and the same plan runs byte-for-byte against empty
+  bases.
 
 Everything else is classified ``join`` / not self-maintainable, with
 the obstruction spelled out in the reason.  The test is sound but not
@@ -59,6 +69,7 @@ from repro.core.satisfiability import is_satisfiable
 from repro.instrumentation import charge
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.dependencies import KeyLookup
     from repro.core.views import ViewDefinition
 
 
@@ -68,6 +79,11 @@ KIND_SINGLE_RELATION = "single_relation"
 #: ``p >= 2`` but ``C ∧ K_R₁ ∧ … ∧ K_Rp`` is unsatisfiable: the view is
 #: provably empty in every legal state, so maintenance is a no-op.
 KIND_CONSTRAINT_EMPTY = "constraint_empty_join"
+#: ``p >= 2`` where every probe operand is erased by a declared
+#: foreign-key lookup into a declared candidate key: the compiled plan
+#: runs the reduced single-occurrence normal form over the referencing
+#: relation alone.
+KIND_FK_JOIN = "fk_join"
 #: ``p >= 2`` with no emptiness proof: the probe side of some delta row
 #: cannot be recovered from view contents alone (the empty-view
 #: obstruction), so base state is required.
@@ -120,13 +136,16 @@ class SelfMaintainability:
 def classify_self_maintainability(
     definition: "ViewDefinition",
     constraints: Optional[_ConstraintLookup] = None,
+    keys: "Optional[KeyLookup]" = None,
 ) -> SelfMaintainability:
     """Classify one view definition against declared constraints.
 
     ``constraints`` maps relation names to their declared invariants
     (``None`` disables the ``constraint_empty_join`` class); pass the
     owning database's :attr:`~repro.engine.database.Database.constraints`
-    catalog.  Deterministic for a given definition and catalog.
+    catalog.  ``keys`` is the database's declared key/foreign-key
+    catalog (``None`` disables the ``fk_join`` class).  Deterministic
+    for a given definition and catalogs.
     """
     normal_form = definition.normal_form
     name = definition.name
@@ -169,6 +188,23 @@ def classify_self_maintainability(
             "semantics and never materializes an OLD operand",
         )
 
+    if keys is not None and aggregate is None:
+        from repro.analysis.dependencies import fk_reduction
+
+        reduction = fk_reduction(normal_form, keys)
+        if reduction is not None:
+            probes = ", ".join(reduction.probe_relations)
+            return SelfMaintainability(
+                name,
+                True,
+                KIND_FK_JOIN,
+                f"declared foreign keys erase the probe lookup into {probes}: "
+                "the compiled plan executes the reduced single-occurrence "
+                f"normal form over {reduction.delta_relation!r} alone, so "
+                "like a single-relation view it never materializes an OLD "
+                "operand",
+            )
+
     if constraints is not None:
         condition = normal_form.condition
         constrained: list[str] = []
@@ -205,9 +241,10 @@ def classify_self_maintainability(
 def classify_catalog(
     definitions: Mapping[str, "ViewDefinition"],
     constraints: Optional[_ConstraintLookup] = None,
+    keys: "Optional[KeyLookup]" = None,
 ) -> dict[str, SelfMaintainability]:
     """Classify every definition; keys follow the input mapping's names."""
     return {
-        name: classify_self_maintainability(definition, constraints)
+        name: classify_self_maintainability(definition, constraints, keys)
         for name, definition in definitions.items()
     }

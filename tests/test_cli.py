@@ -125,11 +125,18 @@ class TestViews:
         assert "rows to evaluate: 1" in text
         assert "hash-join" in text
 
+    def test_explain_bare_form_assumes_all_relations_changed(self, shell):
+        _setup_sales(shell)
+        shell.execute("create view v as r join s select A, C")
+        text = shell.execute("explain v")
+        assert "compiled plan for view 'v'" in text
+        assert text == shell.execute("explain v changing r, s")
+
     def test_explain_usage_error(self, shell):
         _setup_sales(shell)
         shell.execute("create view v as r")
         with pytest.raises(ShellError):
-            shell.execute("explain v")
+            shell.execute("explain v bogus trailing words")
 
     def test_explain_source_prints_generated_kernels(self, shell):
         _setup_sales(shell)

@@ -61,7 +61,7 @@ CLUSTER_SMOKE = env_flag("REPRO_CLUSTER_SIM_SMOKE")
 # Shared workload helpers
 # ----------------------------------------------------------------------
 def make_cluster(shards=3, *, routed=True, link_factory=None):
-    topology, tables, rows, constraints, views = cluster_workload(shards)
+    topology, tables, rows, constraints, _, views = cluster_workload(shards)
     return build_cluster(
         topology,
         tables,
@@ -75,7 +75,7 @@ def make_cluster(shards=3, *, routed=True, link_factory=None):
 
 def single_node_truth(coordinator):
     """Replay the coordinator's committed log on one node."""
-    _, tables, rows, constraints, views = cluster_workload(
+    _, tables, rows, constraints, _, views = cluster_workload(
         coordinator.topology.shards
     )
     database = Database()
@@ -198,7 +198,7 @@ class TestTopology:
 # ----------------------------------------------------------------------
 class TestRouting:
     def test_workload_routing_table(self):
-        topology, tables, _, constraints, views = cluster_workload(3)
+        topology, tables, _, constraints, _, views = cluster_workload(3)
         catalog = {
             name: RelationSchema(list(attrs))
             for name, attrs in tables.items()
@@ -582,3 +582,69 @@ class TestClusterSimulation:
         text = report.format()
         assert text.endswith("OK")
         assert report.format() == text  # formatting is pure
+
+
+# ----------------------------------------------------------------------
+# Declared keys on the cluster
+# ----------------------------------------------------------------------
+class TestClusterKeys:
+    def make_keyed_cluster(self, shards=2):
+        topology, tables, rows, constraints, _, views = cluster_workload(shards)
+        seen, deduped = set(), []
+        for row in rows["r"]:
+            if row[0] not in seen:
+                seen.add(row[0])
+                deduped.append(row)
+        rows = dict(rows)
+        rows["r"] = deduped
+        return build_cluster(
+            topology, tables, rows, constraints, views, keys={"r": [("A",)]}
+        )
+
+    def test_partition_misaligned_key_is_rejected(self):
+        # A key that omits the partition attribute cannot be enforced
+        # shard-locally: rows colliding on it live on different shards.
+        topology, tables, rows, constraints, _, views = cluster_workload(2)
+        with pytest.raises(ClusterError, match="omits the partition attribute"):
+            build_cluster(
+                topology, tables, rows, constraints, views, keys={"r": [("B",)]}
+            )
+
+    def test_prepare_nacks_a_key_violation(self):
+        coordinator = self.make_keyed_cluster()
+        before = coordinator.merged_counts("r")[0]
+        txn_id = coordinator.submit(inserts={"r": [[0, 3], [0, 4]]})
+        outcome = coordinator.outcome(txn_id)
+        assert outcome["status"] == "aborted"
+        assert "key (A)" in outcome["error"]
+        assert coordinator.merged_counts("r")[0] == before
+        assert coordinator.committed_log == []
+
+    def test_keyed_replacement_commits(self):
+        coordinator = self.make_keyed_cluster()
+        merged = coordinator.merged_counts("r")[0]
+        existing = sorted(merged)[0]
+        txn_id = coordinator.submit(
+            deletes={"r": [list(existing)]},
+            inserts={"r": [[existing[0], 6]]},
+        )
+        assert coordinator.outcome(txn_id)["status"] == "committed"
+        after = coordinator.merged_counts("r")[0]
+        assert (existing[0], 6) in after
+
+    def test_keyed_episode_passes_oracle(self):
+        config = ClusterSimConfig(seed=11, episodes=1, events=40, keyed=True)
+        result = run_cluster_episode(11, config)
+        assert result.divergences == []
+        assert result.stats["txns_committed"] > 0
+
+    def test_keyed_base_free_unrestricted_ops_pass_oracle(self):
+        # PR 9 restricted base-free schedules to home-shard inserts; the
+        # declared key (with its row-determining constraint) lifts that:
+        # unrestricted inserts AND deletes, oracle byte-for-byte.
+        config = ClusterSimConfig(
+            seed=13, episodes=1, events=50, keyed=True, base_free=True
+        )
+        result = run_cluster_episode(13, config)
+        assert result.divergences == []
+        assert result.stats["txns_submitted"] > 0

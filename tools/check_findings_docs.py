@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Docs lint: every analyzer finding code is documented.
+
+The analyzer's finding vocabulary is closed
+(:mod:`repro.analysis.findings` validates codes at construction), and
+``docs/analysis.md`` carries the user-facing table of that vocabulary.
+The two drift silently: a new ``F_*`` code ships, the table lags, and
+``analyze --json`` starts emitting codes no documentation explains.
+This lint pins them together — every ``F_*`` constant exported by
+:mod:`repro.analysis` must appear, backtick-quoted, in the findings
+table of ``docs/analysis.md``.
+
+Usage (CI runs this from the repository root)::
+
+    python tools/check_findings_docs.py
+
+Exits 1 listing the undocumented codes (or documented ghosts — table
+rows whose code no longer exists).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def exported_codes() -> dict[str, str]:
+    """``F_*`` name → code string, as exported by ``repro.analysis``."""
+    sys.path.insert(0, str(ROOT / "src"))
+    import repro.analysis as analysis
+
+    return {
+        name: getattr(analysis, name)
+        for name in analysis.__all__
+        if name.startswith("F_")
+    }
+
+
+def documented_codes(text: str) -> set[str]:
+    """Backtick-quoted codes in the findings table's ``code`` column."""
+    codes: set[str] = set()
+    for line in text.splitlines():
+        match = re.match(r"\|\s*`([a-z_]+)`\s*\|", line)
+        if match:
+            codes.add(match.group(1))
+    return codes
+
+
+def main() -> int:
+    doc_path = ROOT / "docs" / "analysis.md"
+    exported = exported_codes()
+    documented = documented_codes(doc_path.read_text(encoding="utf-8"))
+    failures: list[str] = []
+    for name, code in sorted(exported.items()):
+        if code not in documented:
+            failures.append(
+                f"{doc_path}: finding {name} = {code!r} is exported by "
+                "repro.analysis but missing from the findings table"
+            )
+    for ghost in sorted(documented - set(exported.values())):
+        failures.append(
+            f"{doc_path}: table documents {ghost!r}, which repro.analysis "
+            "no longer exports"
+        )
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"findings docs OK: {len(exported)} codes documented in "
+        f"{doc_path.relative_to(ROOT)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
